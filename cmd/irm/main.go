@@ -1,0 +1,179 @@
+// Command irm is the Incremental Recompilation Manager CLI (§6, §9 of
+// the paper): it builds library groups described by ".cm"-style files,
+// reusing cached bin files whenever the cutoff rule allows, and can
+// display dependency graphs and the §5 hash-collision analysis.
+//
+//	irm build group.cm [-store dir] [-policy cutoff|timestamp] [-v]
+//	irm deps  group.cm
+//	irm collision [-pids n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/depend"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "deps":
+		cmdDeps(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	case "collision":
+		cmdCollision(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+// cmdShow compiles the named source files in order and prints each
+// unit's interface — the per-unit "interface" view of §6.
+func cmdShow(args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	session, err := compiler.NewSession(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range args {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		u, err := session.Run(path, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(compiler.Describe(u))
+		fmt.Println()
+	}
+}
+
+// splitGroupArg accepts the group file either before or after the
+// flags (Go's flag package stops at the first positional argument).
+func splitGroupArg(args []string) (group string, rest []string) {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  irm build group.cm [-store dir] [-policy cutoff|timestamp] [-v]
+  irm deps  group.cm
+  irm show  file.sml ...
+  irm collision [-pids n]`)
+	os.Exit(2)
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	storeDir := fs.String("store", ".irm-store", "bin cache directory")
+	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
+	verbose := fs.Bool("v", false, "log per-unit actions")
+	groupPath, rest := splitGroupArg(args)
+	fs.Parse(rest)
+	if groupPath == "" && fs.NArg() == 1 {
+		groupPath = fs.Arg(0)
+	}
+	if groupPath == "" {
+		usage()
+	}
+
+	group, err := core.LoadGroup(groupPath)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := core.NewDirStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	m := &core.Manager{Store: store, Stdout: os.Stdout}
+	switch *policy {
+	case "cutoff":
+		m.Policy = core.PolicyCutoff
+	case "timestamp":
+		m.Policy = core.PolicyTimestamp
+	default:
+		usage()
+	}
+	if *verbose {
+		m.Log = os.Stderr
+	}
+	if _, err := m.Build(group.Files); err != nil {
+		fatal(err)
+	}
+	st := m.Stats
+	fmt.Printf("%s: %d units — parsed %d, compiled %d, loaded %d, cutoffs %d\n",
+		group.Name, st.Units, st.Parsed, st.Compiled, st.Loaded, st.Cutoffs)
+	fmt.Printf("  compile %v, hash %v, pickle %v, load %v, exec %v\n",
+		st.CompileTime, st.HashTime, st.PickleTime, st.LoadTime, st.ExecTime)
+}
+
+func cmdDeps(args []string) {
+	fs := flag.NewFlagSet("deps", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	group, err := core.LoadGroup(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var infos []*depend.Info
+	for _, f := range group.Files {
+		info, err := depend.Analyze(f.Name, f.Source)
+		if err != nil {
+			fatal(err)
+		}
+		infos = append(infos, info)
+	}
+	deps := depend.Graph(infos)
+	order, err := depend.TopoSort(infos)
+	if err != nil {
+		fatal(err)
+	}
+	for _, info := range order {
+		fmt.Printf("%s:", info.Name)
+		for _, d := range deps[info.Name] {
+			fmt.Printf(" %s", d)
+		}
+		fmt.Println()
+	}
+}
+
+// cmdCollision prints the paper's §5 collision analysis: with n pids
+// in a system there are n(n-1)/2 pairs; each pair of 128-bit hashes
+// collides with probability 2^-128.
+func cmdCollision(args []string) {
+	fs := flag.NewFlagSet("collision", flag.ExitOnError)
+	pids := fs.Int("pids", 1<<13, "number of pids in the system")
+	fs.Parse(args)
+
+	n := float64(*pids)
+	pairs := n * (n - 1) / 2
+	log2Pairs := math.Log2(pairs)
+	log2P := log2Pairs - 128
+	fmt.Printf("pids:               %d (2^%.1f)\n", *pids, math.Log2(n))
+	fmt.Printf("pairs:              %.0f (2^%.1f)\n", pairs, log2Pairs)
+	fmt.Printf("P(any collision) <= 2^%.1f\n", log2P)
+	fmt.Printf("paper (§5): 2^13 pids -> ~2^25 pairs -> P ~ 2^-103\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command smlc is the batch compiler: it compiles SML source files, in
+// the order given, each against the environment exported by its
+// predecessors, and writes one bin file per unit (§3, §6 of the
+// paper). It prints each unit's intrinsic static pid and import pids —
+// the identities type-safe linkage is built on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/binfile"
+	"repro/internal/compiler"
+)
+
+func main() {
+	outDir := flag.String("d", ".", "directory for bin files")
+	verbose := flag.Bool("v", false, "print interfaces and imports")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-v] file.sml ...")
+		os.Exit(2)
+	}
+
+	session, err := compiler.NewSession(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		name := filepath.Base(path)
+		u, err := session.Run(name, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		binPath := filepath.Join(*outDir, strings.TrimSuffix(name, ".sml")+".bin")
+		f, err := os.Create(binPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := binfile.Write(f, u); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: interface %s -> %s\n", name, u.StatPid.Short(), binPath)
+		if *verbose {
+			for i, im := range u.Imports {
+				fmt.Printf("  import[%d] %s\n", i, im)
+			}
+			for _, w := range u.Warnings {
+				fmt.Printf("  warning: %s\n", w)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smlc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Command smlrepl is the interactive top-level loop: each input is
+// compiled as a compilation unit against the session environment and
+// executed, per §3 and §7 of the paper. Inputs end with ";"; "quit;"
+// exits.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/repl"
+)
+
+func main() {
+	r, err := repl.New(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smlrepl:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Standard ML separate-compilation REPL (quit; to exit)")
+	if err := r.Interact(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smlrepl:", err)
+		os.Exit(1)
+	}
+}

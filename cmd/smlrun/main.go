@@ -1,0 +1,142 @@
+// Command smlrun builds and executes a program given as SML source
+// files: dependencies are discovered automatically (§6), the units are
+// compiled or reloaded in topological order, type-safe linkage is
+// enforced, and the program runs. With -bin, pre-compiled bin files
+// are rehydrated, verified, and linked instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/binfile"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/linker"
+	"repro/internal/pid"
+)
+
+func main() {
+	binMode := flag.Bool("bin", false, "arguments are bin files to link and run")
+	storeDir := flag.String("store", "", "bin cache directory (enables incremental reuse)")
+	verbose := flag.Bool("v", false, "log per-unit actions")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: smlrun [-bin] [-store dir] [-v] file ...")
+		os.Exit(2)
+	}
+
+	if *binMode {
+		runBins(flag.Args())
+		return
+	}
+
+	m := core.NewManager()
+	m.Stdout = os.Stdout
+	if *verbose {
+		m.Log = os.Stderr
+	}
+	if *storeDir != "" {
+		store, err := core.NewDirStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		m.Store = store
+	}
+
+	var files []core.File
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, core.File{Name: filepath.Base(path), Source: string(src)})
+	}
+	if _, err := m.Build(files); err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		st := m.Stats
+		fmt.Fprintf(os.Stderr, "units=%d compiled=%d loaded=%d cutoffs=%d\n",
+			st.Units, st.Compiled, st.Loaded, st.Cutoffs)
+	}
+}
+
+func runBins(paths []string) {
+	session, err := compiler.NewSession(os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+
+	// First pass: headers only, to order rehydration so providers load
+	// before dependents regardless of argument order.
+	type binInfo struct {
+		path    string
+		data    []byte
+		exports map[pid.Pid]bool
+		imports []pid.Pid
+	}
+	infos := make([]*binInfo, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		_, statPid, imports, numSlots, err := binfile.ReadHeader(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", path, err))
+		}
+		bi := &binInfo{path: path, data: data, imports: imports, exports: map[pid.Pid]bool{}}
+		for i := 0; i < numSlots; i++ {
+			bi.exports[statPid.Plus(uint64(i+1))] = true
+		}
+		infos = append(infos, bi)
+	}
+	providerOf := func(p pid.Pid) *binInfo {
+		for _, bi := range infos {
+			if bi.exports[p] {
+				return bi
+			}
+		}
+		return nil
+	}
+	loaded := map[*binInfo]bool{}
+	var units []*compiler.Unit
+	var load func(bi *binInfo)
+	load = func(bi *binInfo) {
+		if loaded[bi] {
+			return
+		}
+		loaded[bi] = true
+		for _, im := range bi.imports {
+			if p := providerOf(im); p != nil && p != bi {
+				load(p)
+			}
+		}
+		u, err := binfile.Read(bi.data, session.Index)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", bi.path, err))
+		}
+		session.Index.AddEnv(u.Env)
+		units = append(units, u)
+	}
+	for _, bi := range infos {
+		load(bi)
+	}
+	if errs := linker.Verify(units, session.Dyn); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "smlrun:", e)
+		}
+		os.Exit(1)
+	}
+	if err := linker.Run(session.Machine, units, session.Dyn); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smlrun:", err)
+	os.Exit(1)
+}

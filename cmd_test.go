@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once into a temp dir and
+// returns their paths.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func runTool(t *testing.T, bin string, stdin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeFile(t *testing.T, path, contents string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "smlc", "smlrun", "irm", "smlrepl")
+	work := t.TempDir()
+
+	libPath := filepath.Join(work, "lib.sml")
+	mainPath := filepath.Join(work, "main.sml")
+	writeFile(t, libPath, "structure Lib = struct fun triple n = 3 * n end\n")
+	writeFile(t, mainPath, `val _ = print (Int.toString (Lib.triple 14) ^ "\n")`+"\n")
+
+	t.Run("smlc-and-smlrun-bin", func(t *testing.T) {
+		binDir := filepath.Join(work, "bins")
+		if err := os.MkdirAll(binDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runTool(t, tools["smlc"], "", "-d", binDir, "-v", libPath, mainPath)
+		if err != nil {
+			t.Fatalf("smlc: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "lib.sml: interface") {
+			t.Errorf("smlc output %q", out)
+		}
+		// Link bins in the wrong order on purpose: smlrun sorts.
+		out, err = runTool(t, tools["smlrun"], "", "-bin",
+			filepath.Join(binDir, "main.bin"), filepath.Join(binDir, "lib.bin"))
+		if err != nil {
+			t.Fatalf("smlrun -bin: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "42") {
+			t.Errorf("program output %q", out)
+		}
+	})
+
+	t.Run("smlrun-sources", func(t *testing.T) {
+		out, err := runTool(t, tools["smlrun"], "", mainPath, libPath)
+		if err != nil {
+			t.Fatalf("smlrun: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "42") {
+			t.Errorf("program output %q", out)
+		}
+	})
+
+	t.Run("irm-build-incremental", func(t *testing.T) {
+		groupPath := filepath.Join(work, "prog.cm")
+		writeFile(t, groupPath, "lib.sml\nmain.sml\n")
+		store := filepath.Join(work, "store")
+
+		out, err := runTool(t, tools["irm"], "", "build", groupPath, "-store", store)
+		if err != nil {
+			t.Fatalf("irm build: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "compiled 2, loaded 0") {
+			t.Errorf("cold build stats: %q", out)
+		}
+		out, err = runTool(t, tools["irm"], "", "build", groupPath, "-store", store)
+		if err != nil {
+			t.Fatalf("irm rebuild: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "compiled 0, loaded 2") {
+			t.Errorf("null build stats: %q", out)
+		}
+		// Comment edit to lib: cutoff.
+		writeFile(t, libPath, "(* tweak *) structure Lib = struct fun triple n = 3 * n end\n")
+		out, err = runTool(t, tools["irm"], "", "build", groupPath, "-store", store)
+		if err != nil {
+			t.Fatalf("irm edit build: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "compiled 1, loaded 1, cutoffs 1") {
+			t.Errorf("cutoff build stats: %q", out)
+		}
+	})
+
+	t.Run("irm-deps-and-collision", func(t *testing.T) {
+		groupPath := filepath.Join(work, "prog.cm")
+		out, err := runTool(t, tools["irm"], "", "deps", groupPath)
+		if err != nil {
+			t.Fatalf("irm deps: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "main.sml: lib.sml") {
+			t.Errorf("deps output %q", out)
+		}
+		out, err = runTool(t, tools["irm"], "", "collision")
+		if err != nil || !strings.Contains(out, "2^-103") {
+			t.Errorf("collision output: %v %q", err, out)
+		}
+	})
+
+	t.Run("smlrepl", func(t *testing.T) {
+		input := "val x = 6 * 7;\nx - 2;\nquit;\n"
+		out, err := runTool(t, tools["smlrepl"], input)
+		if err != nil {
+			t.Fatalf("smlrepl: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "val x = 42 : int") || !strings.Contains(out, "val it = 40 : int") {
+			t.Errorf("repl output %q", out)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+// Package repro is a full reproduction of Appel & MacQueen, "Separate
+// Compilation for Standard ML" (PLDI 1994): an SML-subset compiler
+// front end, the compilation-unit model (compile : source × statenv →
+// unit; execute : code × dynenv → dynenv), persistent identifiers,
+// intrinsic-pid hashing with cutoff recompilation, static-environment
+// pickling (dehydration/rehydration with stamp-keyed sharing and
+// stubs), type-safe linkage, and the IRM compilation manager — all in
+// pure Go with no dependencies outside the standard library.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and bench_test.go for the harness that
+// regenerates every quantitative claim of the paper.
+package repro

@@ -1,0 +1,136 @@
+// Calculator: a real multi-unit SML program — a lexer, AST, recursive
+// descent parser, and evaluator for arithmetic expressions, spread over
+// five compilation units and built with the IRM. This is the shape of
+// program the paper's introduction motivates: a deep DAG of modules
+// where qualified datatypes and constructors cross unit boundaries.
+//
+// After the first build, the parser unit gets a comment-only edit and
+// the project rebuilds: only parser.sml recompiles (cutoff), yet the
+// program still runs — rehydrated bins and the fresh unit link
+// type-safely.
+//
+// Run with: go run ./examples/calculator
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+var units = []core.File{
+	{Name: "lexer.sml", Source: `
+structure Lexer = struct
+  datatype token = NUM of int | PLUS | MINUS | TIMES | LPAR | RPAR | EOF
+  exception LexError of string
+
+  fun isDigit c = c >= #"0" andalso c <= #"9"
+  fun digit c = ord c - ord #"0"
+
+  fun lex cs =
+    let
+      fun go nil = [EOF]
+        | go (c :: r) =
+            if c = #" " then go r
+            else if isDigit c then num (digit c, r)
+            else if c = #"+" then PLUS :: go r
+            else if c = #"-" then MINUS :: go r
+            else if c = #"*" then TIMES :: go r
+            else if c = #"(" then LPAR :: go r
+            else if c = #")" then RPAR :: go r
+            else raise LexError (str c)
+      and num (acc, nil) = [NUM acc, EOF]
+        | num (acc, c :: r) =
+            if isDigit c then num (acc * 10 + digit c, r)
+            else NUM acc :: go (c :: r)
+    in
+      go cs
+    end
+end
+`},
+	{Name: "ast.sml", Source: `
+structure Ast = struct
+  datatype expr =
+      Num of int
+    | Add of expr * expr
+    | Sub of expr * expr
+    | Mul of expr * expr
+end
+`},
+	{Name: "parser.sml", Source: `
+structure Parser = struct
+  exception ParseError of string
+
+  (* expr   ::= term (("+" | "-") term)*
+     term   ::= factor ("*" factor)*
+     factor ::= NUM | "(" expr ")"            *)
+  fun parse ts =
+        (case pExpr ts of
+            (e, [Lexer.EOF]) => e
+          | _ => raise ParseError "trailing input")
+  and pExpr ts =
+        let
+          fun more (acc, Lexer.PLUS :: r) =
+                let val (rhs, rest) = pTerm r in more (Ast.Add (acc, rhs), rest) end
+            | more (acc, Lexer.MINUS :: r) =
+                let val (rhs, rest) = pTerm r in more (Ast.Sub (acc, rhs), rest) end
+            | more (acc, rest) = (acc, rest)
+          val (first, rest) = pTerm ts
+        in more (first, rest) end
+  and pTerm ts =
+        let
+          fun more (acc, Lexer.TIMES :: r) =
+                let val (rhs, rest) = pFactor r in more (Ast.Mul (acc, rhs), rest) end
+            | more (acc, rest) = (acc, rest)
+          val (first, rest) = pFactor ts
+        in more (first, rest) end
+  and pFactor (Lexer.NUM n :: r) = (Ast.Num n, r)
+    | pFactor (Lexer.LPAR :: r) =
+        (case pExpr r of
+            (e, Lexer.RPAR :: rest) => (e, rest)
+          | _ => raise ParseError "expected )")
+    | pFactor _ = raise ParseError "expected number or ("
+end
+`},
+	{Name: "eval.sml", Source: `
+structure Eval = struct
+  fun eval (Ast.Num n) = n
+    | eval (Ast.Add (a, b)) = eval a + eval b
+    | eval (Ast.Sub (a, b)) = eval a - eval b
+    | eval (Ast.Mul (a, b)) = eval a * eval b
+end
+`},
+	{Name: "main.sml", Source: `
+fun calc s = Eval.eval (Parser.parse (Lexer.lex (explode s)))
+
+val _ = app
+  (fn s => print (s ^ " = " ^ Int.toString (calc s) ^ "\n"))
+  ["1+2*3", "(1+2)*3", "10-4-3", "2*(3+4)*5"]
+
+val _ = print ((calc "1+" handle Parser.ParseError m => (print ("parse error: " ^ m ^ "\n"); 0); "")
+               handle _ => "")
+`},
+}
+
+func main() {
+	m := core.NewManager()
+	m.Stdout = os.Stdout
+
+	fmt.Println("=== cold build (5 units) ===")
+	if _, err := m.Build(units); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled=%d loaded=%d\n\n", m.Stats.Compiled, m.Stats.Loaded)
+
+	fmt.Println("=== rebuild after a comment-only edit to parser.sml ===")
+	edited := make([]core.File, len(units))
+	copy(edited, units)
+	edited[2].Source = "(* grammar cleanup, no interface change *)\n" + edited[2].Source
+	if _, err := m.Build(edited); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled=%d loaded=%d cutoffs=%d\n",
+		m.Stats.Compiled, m.Stats.Loaded, m.Stats.Cutoffs)
+}

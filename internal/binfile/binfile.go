@@ -1,0 +1,88 @@
+// Package binfile implements the on-disk representation of compiled
+// units — the paper's "bin" files (§3, §6): the unit name, the
+// intrinsic static pid, the import pid vector, the dehydrated export
+// static environment, and the compiled code.
+//
+// Reading a bin file rehydrates the environment against a context
+// index; a reference to an interface that is not loaded (or whose
+// provider was recompiled to a different interface) fails here, before
+// anything can be linked — the first layer of type-safe linkage.
+package binfile
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/lambda"
+	"repro/internal/pickle"
+	"repro/internal/pid"
+)
+
+// Magic identifies bin files; the trailing digits version the format.
+const Magic = "SMLBIN01"
+
+// Write serializes a compiled unit.
+func Write(w io.Writer, u *compiler.Unit) error {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+
+	p := pickle.NewPickler(&buf, u.StatPid)
+	p.Header(u.Name, u.StatPid, u.Imports, u.NumSlots)
+	p.Env(u.Env)
+	p.Lambda(u.Code)
+	if err := p.Err(); err != nil {
+		return fmt.Errorf("binfile: write %s: %v", u.Name, err)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Encode serializes a compiled unit to bytes.
+func Encode(u *compiler.Unit) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, u); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Read rehydrates a unit from bin-file bytes, resolving external
+// references in the context index.
+func Read(data []byte, ix *pickle.Index) (*compiler.Unit, error) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("binfile: bad magic")
+	}
+	u := pickle.NewUnpickler(bytes.NewReader(data[len(Magic):]), ix)
+	name, statPid, imports, numSlots := u.Header()
+	envLayer := u.Env()
+	code := u.Lambda()
+	if err := u.Err(); err != nil {
+		return nil, fmt.Errorf("binfile: read %s: %v", name, err)
+	}
+	fn, ok := code.(*lambda.Fn)
+	if !ok {
+		return nil, fmt.Errorf("binfile: read %s: code is not a function", name)
+	}
+	return &compiler.Unit{
+		Name:     name,
+		StatPid:  statPid,
+		Env:      envLayer,
+		Code:     fn,
+		Imports:  imports,
+		NumSlots: numSlots,
+	}, nil
+}
+
+// ReadHeader decodes only the header (name, static pid, imports,
+// export count), for dependency checks that need not rehydrate the
+// environment.
+func ReadHeader(data []byte) (name string, statPid pid.Pid, imports []pid.Pid, numSlots int, err error) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return "", pid.Zero, nil, 0, fmt.Errorf("binfile: bad magic")
+	}
+	u := pickle.NewUnpickler(bytes.NewReader(data[len(Magic):]), pickle.NewIndex())
+	name, statPid, imports, numSlots = u.Header()
+	return name, statPid, imports, numSlots, u.Err()
+}

@@ -1,0 +1,178 @@
+// Package compiler is the Visible Compiler (§8 of the paper): the
+// compilation and execution primitives — parse, elaborate, hash,
+// pickle, execute — exposed as an ordinary library so that client
+// programs (the IRM compilation manager, the REPL, metaprograms, the
+// benchmark harness) drive compilation themselves.
+//
+// The central factoring is the paper's §3 unit model:
+//
+//	compile : source × statenv → Unit
+//	execute : codeUnit × dynenv → dynenv
+//
+// A Unit carries the exported static environment, the closed code
+// (λ imports . exports), the import pid vector, and the intrinsic
+// static pid of its interface.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dynenv"
+	"repro/internal/elab"
+	"repro/internal/env"
+	"repro/internal/interp"
+	"repro/internal/lambda"
+	"repro/internal/parser"
+	"repro/internal/pickle"
+	"repro/internal/pid"
+)
+
+// Unit is a compiled compilation unit (§3: statenv × code × imports ×
+// exports).
+type Unit struct {
+	// Name identifies the unit (typically its source file).
+	Name string
+	// StatPid is the intrinsic pid of the exported interface: the
+	// CRC-128 of the alpha-converted pickle of the export environment,
+	// seeded with the unit name (§5).
+	StatPid pid.Pid
+	// Env is the exported static environment (one layer; its parent is
+	// the compilation context and is not part of the unit).
+	Env *env.Env
+	// Code is the unit's closed code: λ(import-vector).(export-record).
+	Code *lambda.Fn
+	// Imports lists the dynamic pids the code expects, in vector order.
+	Imports []pid.Pid
+	// NumSlots is the width of the export record; export slot i is
+	// bound to pid StatPid+(i+1) after execution.
+	NumSlots int
+	// Warnings are non-fatal elaboration diagnostics.
+	Warnings []string
+}
+
+// ExportPid returns the dynamic pid of export slot i (§5: "derived from
+// the hash by adding 1 through k").
+func (u *Unit) ExportPid(i int) pid.Pid { return u.StatPid.Plus(uint64(i + 1)) }
+
+// CompileError aggregates the diagnostics of a failed compilation.
+type CompileError struct {
+	Unit string
+	Msgs []string
+}
+
+func (e *CompileError) Error() string {
+	if len(e.Msgs) == 1 {
+		return fmt.Sprintf("%s: %s", e.Unit, e.Msgs[0])
+	}
+	return fmt.Sprintf("%s: %d errors:\n  %s", e.Unit, len(e.Msgs), strings.Join(e.Msgs, "\n  "))
+}
+
+// Compile compiles one unit against a context static environment. It
+// performs the full §3–§5 pipeline: parse, elaborate, hash the export
+// interface into the intrinsic static pid, make the unit's provisional
+// stamps permanent, and derive the dynamic export pids.
+func Compile(name, source string, context *env.Env) (*Unit, error) {
+	decs, perrs := parser.Parse(source)
+	if len(perrs) > 0 {
+		ce := &CompileError{Unit: name}
+		for _, e := range perrs {
+			ce.Msgs = append(ce.Msgs, e.Error())
+		}
+		return nil, ce
+	}
+
+	res, eerrs := elab.ElabUnit(decs, context)
+	if len(eerrs) > 0 {
+		ce := &CompileError{Unit: name}
+		for _, e := range eerrs {
+			ce.Msgs = append(ce.Msgs, e.Error())
+		}
+		return nil, ce
+	}
+
+	statPid, prov, err := HashInterface(name, res.Env)
+	if err != nil {
+		return nil, &CompileError{Unit: name, Msgs: []string{err.Error()}}
+	}
+
+	// §5: replace provisional stamps with permanent ones derived from
+	// the hash, in the same order the hash's alpha-conversion assigned.
+	pickle.AssignPermanentStamps(prov, statPid)
+
+	// Derive the dynamic export pids.
+	for i, sb := range res.Slots {
+		p := statPid.Plus(uint64(i + 1))
+		switch {
+		case sb.Val != nil:
+			sb.Val.ExportPid = p
+		case sb.Str != nil:
+			sb.Str.ExportPid = p
+		}
+	}
+
+	var warnings []string
+	for _, w := range res.Warnings {
+		warnings = append(warnings, w.Error())
+	}
+	return &Unit{
+		Name:     name,
+		StatPid:  statPid,
+		Env:      res.Env,
+		Code:     res.Code,
+		Imports:  res.ImportPids,
+		NumSlots: len(res.Slots),
+		Warnings: warnings,
+	}, nil
+}
+
+// HashInterface computes the intrinsic pid of an export environment:
+// the CRC-128 of its canonical pickle with the unit's own (provisional)
+// stamps alpha-converted to ordinals. The unit name seeds the hash so
+// that two units with textually identical interfaces still receive
+// distinct stamps — preserving datatype generativity across units.
+// It returns the provisionally stamped objects in traversal order.
+func HashInterface(name string, e *env.Env) (pid.Pid, []any, error) {
+	h := pid.NewHasher()
+	h.WriteString(name)
+	p := pickle.NewPickler(h, pid.Zero)
+	p.Env(e)
+	if err := p.Err(); err != nil {
+		return pid.Zero, nil, err
+	}
+	return h.Sum(), p.Provisional(), nil
+}
+
+// Execute runs a compiled unit against a dynamic environment (§3):
+// gather the import values, apply the closed code, and bind the export
+// pids to the resulting values.
+func Execute(m *interp.Machine, u *Unit, dyn *dynenv.Env) error {
+	imports := make(interp.RecordV, len(u.Imports))
+	for i, p := range u.Imports {
+		v, err := dyn.MustLookup(p)
+		if err != nil {
+			return fmt.Errorf("execute %s: %v", u.Name, err)
+		}
+		imports[i] = v
+	}
+	closure, err := m.Eval(u.Code, nil)
+	if err != nil {
+		return fmt.Errorf("execute %s: %v", u.Name, err)
+	}
+	result, err := m.Apply(closure, imports)
+	if err != nil {
+		return fmt.Errorf("execute %s: %v", u.Name, err)
+	}
+	rec, ok := result.(interp.RecordV)
+	if !ok && u.NumSlots > 0 {
+		return fmt.Errorf("execute %s: code returned non-record", u.Name)
+	}
+	if len(rec) != u.NumSlots {
+		return fmt.Errorf("execute %s: export record has %d slots, expected %d",
+			u.Name, len(rec), u.NumSlots)
+	}
+	for i, v := range rec {
+		dyn.Bind(u.ExportPid(i), v)
+	}
+	return nil
+}

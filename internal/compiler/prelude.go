@@ -1,0 +1,260 @@
+package compiler
+
+// PreludeSource is the second layer of the basis, written in SML and
+// compiled as the first unit of every session ("$prelude"). It builds
+// the familiar top-level utilities and the Int/Real/String/Char/List/
+// Word/Option structures on top of the primitive layer.
+const PreludeSource = `
+exception Empty
+exception Option
+
+datatype 'a option = NONE | SOME of 'a
+datatype order = LESS | EQUAL | GREATER
+
+fun not true = false
+  | not false = true
+
+fun ignore _ = ()
+
+fun op o (f, g) = fn x => f (g x)
+
+fun op before (x, _) = x
+
+fun hd nil = raise Empty
+  | hd (x :: _) = x
+
+fun tl nil = raise Empty
+  | tl (_ :: r) = r
+
+fun null nil = true
+  | null _ = false
+
+fun op @ (nil, ys) = ys
+  | op @ (x :: xs, ys) = x :: (xs @ ys)
+
+fun rev l =
+  let fun go (nil, acc) = acc
+        | go (x :: r, acc) = go (r, x :: acc)
+  in go (l, nil) end
+
+fun map f =
+  let fun go nil = nil
+        | go (x :: r) = f x :: go r
+  in go end
+
+fun app f =
+  let fun go nil = ()
+        | go (x :: r) = (f x; go r)
+  in go end
+
+fun foldl f b nil = b
+  | foldl f b (x :: r) = foldl f (f (x, b)) r
+
+fun foldr f b nil = b
+  | foldr f b (x :: r) = f (x, foldr f b r)
+
+fun length l = foldl (fn (_, n) => n + 1) 0 l
+
+fun valOf (SOME x) = x
+  | valOf NONE = raise Option
+
+fun isSome (SOME _) = true
+  | isSome NONE = false
+
+fun getOpt (SOME x, _) = x
+  | getOpt (NONE, d) = d
+
+fun concat l = foldr (fn (a, b) => a ^ b) "" l
+
+(* String.fields/tokens and Int.fromString, built from the primitives. *)
+local
+  fun splitBy keepEmpty p s =
+    let
+      fun flush (cur, acc) =
+        if null cur andalso not keepEmpty then acc
+        else implode (rev cur) :: acc
+      fun go (nil, cur, acc) = rev (flush (cur, acc))
+        | go (c :: r, cur, acc) =
+            if p c then go (r, nil, flush (cur, acc))
+            else go (r, c :: cur, acc)
+    in go (explode s, nil, nil) end
+in
+  fun fields p s = splitBy true p s
+  fun tokens p s = splitBy false p s
+end
+
+local
+  fun digits (nil, acc, seen) = if seen then SOME acc else NONE
+    | digits (c :: r, acc, seen) =
+        if c >= #"0" andalso c <= #"9"
+        then digits (r, acc * 10 + (ord c - ord #"0"), true)
+        else NONE
+in
+  fun intFromString s =
+    (case explode s of
+        #"~" :: rest => (case digits (rest, 0, false) of
+            SOME n => SOME (~n)
+          | NONE => NONE)
+      | cs => digits (cs, 0, false))
+end
+
+structure Int = struct
+  type int = int
+  val toString = intToString
+  val fromString = intFromString
+  fun min (a : int, b) = if a < b then a else b
+  fun max (a : int, b) = if a > b then a else b
+  fun compare (a : int, b) =
+    if a < b then LESS else if a > b then GREATER else EQUAL
+end
+
+structure Real = struct
+  type real = real
+  val toString = realToString
+  val fromInt = real
+  fun min (a : real, b) = if a < b then a else b
+  fun max (a : real, b) = if a > b then a else b
+  fun compare (a : real, b) =
+    if a < b then LESS else if a > b then GREATER else EQUAL
+end
+
+structure Char = struct
+  type char = char
+  val ord = ord
+  val chr = chr
+  fun isDigit c = c >= #"0" andalso c <= #"9"
+  fun isAlpha c = (c >= #"a" andalso c <= #"z") orelse (c >= #"A" andalso c <= #"Z")
+  fun isSpace c = c = #" " orelse c = #"\t" orelse c = #"\n" orelse c = #"\r"
+  fun toUpper c = if c >= #"a" andalso c <= #"z" then chr (ord c - 32) else c
+  fun toLower c = if c >= #"A" andalso c <= #"Z" then chr (ord c + 32) else c
+  fun compare (a : char, b) =
+    if a < b then LESS else if a > b then GREATER else EQUAL
+end
+
+structure String = struct
+  type string = string
+  val size = size
+  val explode = explode
+  val implode = implode
+  val substring = substring
+  fun sub (s, i) = hd (explode (substring (s, i, 1)))
+  fun concat l = foldr (fn (a : string, b) => a ^ b) "" l
+  fun concatWith sep nil = ""
+    | concatWith sep (x :: nil) = x
+    | concatWith sep (x :: r) = x ^ sep ^ concatWith sep r
+  fun compare (a : string, b) =
+    if a < b then LESS else if a > b then GREATER else EQUAL
+  fun isPrefix p s =
+    size p <= size s andalso substring (s, 0, size p) = p
+  val fields = fields
+  val tokens = tokens
+end
+
+structure List = struct
+  datatype list = datatype list
+  exception Empty
+  val hd = hd
+  val tl = tl
+  val null = null
+  val length = length
+  val rev = rev
+  val map = map
+  val app = app
+  val foldl = foldl
+  val foldr = foldr
+  fun filter p nil = nil
+    | filter p (x :: r) = if p x then x :: filter p r else filter p r
+  fun exists p nil = false
+    | exists p (x :: r) = p x orelse exists p r
+  fun all p nil = true
+    | all p (x :: r) = p x andalso all p r
+  fun find p nil = NONE
+    | find p (x :: r) = if p x then SOME x else find p r
+  fun nth (nil, _) = raise Subscript
+    | nth (x :: _, 0) = x
+    | nth (_ :: r, n) = nth (r, n - 1)
+  fun take (_, 0) = nil
+    | take (nil, _) = raise Subscript
+    | take (x :: r, n) = x :: take (r, n - 1)
+  fun drop (l, 0) = l
+    | drop (nil, _) = raise Subscript
+    | drop (_ :: r, n) = drop (r, n - 1)
+  fun concat nil = nil
+    | concat (l :: ls) = l @ concat ls
+  fun tabulate (n, f) =
+    let fun go i = if i >= n then nil else f i :: go (i + 1)
+    in if n < 0 then raise Size else go 0 end
+  fun zip (nil, _) = nil
+    | zip (_, nil) = nil
+    | zip (x :: xs, y :: ys) = (x, y) :: zip (xs, ys)
+  fun last nil = raise Empty
+    | last (x :: nil) = x
+    | last (_ :: r) = last r
+end
+
+structure Word = struct
+  type word = word
+  val andb = wordAndb
+  val orb = wordOrb
+  val xorb = wordXorb
+  val notb = wordNotb
+  val toInt = wordToInt
+  val fromInt = wordFromInt
+  fun op << (w, n) = wordLshift (w, n)
+  fun op >> (w, n) = wordRshift (w, n)
+end
+
+structure Array = struct
+  type 'a array = 'a array
+  val array = primArray
+  val fromList = primArrayFromList
+  val sub = primArraySub
+  val update = primArrayUpdate
+  val length = primArrayLength
+  fun tabulate (n, f) = fromList (List.tabulate (n, f))
+  fun foldli f b a =
+    let fun go (i, acc) =
+          if i >= length a then acc else go (i + 1, f (i, sub (a, i), acc))
+    in go (0, b) end
+  fun appi f a =
+    let fun go i =
+          if i >= length a then () else (f (i, sub (a, i)); go (i + 1))
+    in go 0 end
+  fun toList a = rev (foldli (fn (_, x, acc) => x :: acc) nil a)
+  fun modify f a = appi (fn (i, x) => update (a, i, f x)) a
+end
+
+structure Vector = struct
+  type 'a vector = 'a vector
+  val fromList = primVector
+  val sub = primVectorSub
+  val length = primVectorLength
+  fun tabulate (n, f) = fromList (List.tabulate (n, f))
+  fun foldli f b v =
+    let fun go (i, acc) =
+          if i >= length v then acc else go (i + 1, f (i, sub (v, i), acc))
+    in go (0, b) end
+  fun toList v = rev (foldli (fn (_, x, acc) => x :: acc) nil v)
+  fun mapVec f v = fromList (map f (toList v))
+end
+
+structure Bool = struct
+  type bool = bool
+  fun toString true = "true"
+    | toString false = "false"
+  fun fromString "true" = SOME true
+    | fromString "false" = SOME false
+    | fromString _ = NONE
+  val not = not
+end
+
+structure Option = struct
+  datatype option = datatype option
+  exception Option
+  val valOf = valOf
+  val isSome = isSome
+  val getOpt = getOpt
+  fun mapOpt f NONE = NONE
+    | mapOpt f (SOME x) = SOME (f x)
+end
+`

@@ -1,0 +1,111 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/env"
+	"repro/internal/types"
+)
+
+// FormatEnv renders a static environment the way the SML top level
+// reports bindings — the human-readable face of a unit's interface.
+// Nested structures indent; functors and signatures print their heads.
+func FormatEnv(e *env.Env) string {
+	var sb strings.Builder
+	formatEnv(&sb, e, "")
+	return sb.String()
+}
+
+func formatEnv(sb *strings.Builder, e *env.Env, indent string) {
+	for _, ent := range e.Order() {
+		switch ent.NS {
+		case env.NSVal:
+			vb, _ := e.LocalVal(ent.Name)
+			switch {
+			case vb.IsExnCon():
+				if vb.Con.HasArg {
+					arr, _ := vb.Scheme.Body.(*types.Arrow)
+					if arr != nil {
+						fmt.Fprintf(sb, "%sexception %s of %s\n", indent, ent.Name, types.TyString(arr.From))
+						continue
+					}
+				}
+				fmt.Fprintf(sb, "%sexception %s\n", indent, ent.Name)
+			case vb.Con != nil:
+				fmt.Fprintf(sb, "%scon %s : %s\n", indent, ent.Name, types.SchemeString(vb.Scheme))
+			default:
+				fmt.Fprintf(sb, "%sval %s : %s\n", indent, ent.Name, types.SchemeString(vb.Scheme))
+			}
+		case env.NSTycon:
+			tc, _ := e.LocalTycon(ent.Name)
+			fmt.Fprintf(sb, "%s%s\n", indent, formatTycon(ent.Name, tc))
+		case env.NSStr:
+			strB, _ := e.LocalStr(ent.Name)
+			fmt.Fprintf(sb, "%sstructure %s : sig\n", indent, ent.Name)
+			formatEnv(sb, strB.Str.Env, indent+"  ")
+			fmt.Fprintf(sb, "%send\n", indent)
+		case env.NSSig:
+			fmt.Fprintf(sb, "%ssignature %s\n", indent, ent.Name)
+		case env.NSFct:
+			fb, _ := e.LocalFct(ent.Name)
+			fmt.Fprintf(sb, "%sfunctor %s (%s : ...)\n", indent, ent.Name, fb.Fct.ParamName)
+		}
+	}
+}
+
+// formatTycon renders a type constructor declaration head.
+func formatTycon(name string, tc *types.Tycon) string {
+	params := ""
+	switch tc.Arity {
+	case 0:
+	case 1:
+		params = "'a "
+	default:
+		vars := make([]string, tc.Arity)
+		for i := range vars {
+			vars[i] = "'" + string(rune('a'+i))
+		}
+		params = "(" + strings.Join(vars, ", ") + ") "
+	}
+	switch tc.Kind {
+	case types.KindData:
+		cons := make([]string, len(tc.Cons))
+		for i, dc := range tc.Cons {
+			cons[i] = dc.Name
+		}
+		return fmt.Sprintf("datatype %s%s = %s", params, name, strings.Join(cons, " | "))
+	case types.KindAbbrev:
+		return fmt.Sprintf("type %s%s = %s", params, name,
+			types.SchemeString(&types.Scheme{Arity: tc.Arity, Body: tc.Abbrev.Body}))
+	case types.KindAbstract:
+		return fmt.Sprintf("type %s%s (abstract)", params, name)
+	default:
+		eq := ""
+		if tc.Eq {
+			eq = " (eqtype)"
+		}
+		return fmt.Sprintf("type %s%s%s", params, name, eq)
+	}
+}
+
+// Describe renders a unit's full interface: name, pids, imports, and
+// the formatted export environment (the paper's per-unit "interface"
+// view, §6).
+func Describe(u *Unit) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "unit %s\n", u.Name)
+	fmt.Fprintf(&sb, "interface pid: %s\n", u.StatPid)
+	fmt.Fprintf(&sb, "imports (%d):\n", len(u.Imports))
+	for i, im := range u.Imports {
+		fmt.Fprintf(&sb, "  [%d] %s\n", i, im)
+	}
+	fmt.Fprintf(&sb, "exports (%d slots):\n", u.NumSlots)
+	body := FormatEnv(u.Env)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line != "" {
+			fmt.Fprintf(&sb, "  %s\n", line)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatEnv(t *testing.T) {
+	s, _ := mustSession(t)
+	u, err := s.Run("show", `
+		val x = 1
+		fun f (a : int) = a
+		datatype d = A | B of int
+		type pair = int * string
+		type 'a box = 'a list
+		exception Oops of string
+		structure Sub = struct val inner = true end
+		signature SIG = sig end
+		functor F (X : sig end) = struct end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatEnv(u.Env)
+	for _, want := range []string{
+		"val x : int",
+		"val f : int -> int",
+		"datatype d = A | B",
+		"con A : d",
+		"con B : int -> d",
+		"type pair = int * string",
+		"type 'a box = 'a list",
+		"exception Oops of string",
+		"structure Sub : sig",
+		"  val inner : bool",
+		"signature SIG",
+		"functor F (X : ...)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatEnv output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s, _ := mustSession(t)
+	if _, err := s.Run("dep", "val base = 2"); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Run("unit", "val v = base + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Describe(u)
+	for _, want := range []string{
+		"unit unit",
+		"interface pid: " + u.StatPid.String(),
+		"imports (1):",
+		"exports (1 slots):",
+		"val v : int",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatAbstractType(t *testing.T) {
+	s, _ := mustSession(t)
+	u, err := s.Run("abs", `
+		signature S = sig type t val mk : int -> t end
+		structure M :> S = struct type t = int fun mk n = n end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatEnv(u.Env)
+	if !strings.Contains(out, "(abstract)") {
+		t.Errorf("abstract type not marked:\n%s", out)
+	}
+}

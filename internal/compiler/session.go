@@ -1,0 +1,85 @@
+package compiler
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/basis"
+	"repro/internal/dynenv"
+	"repro/internal/env"
+	"repro/internal/interp"
+	"repro/internal/pickle"
+)
+
+// Session is an interactive compile-and-execute context (§3, §7): the
+// accumulated static environment, the dynamic environment, the machine,
+// and the rehydration index grow as units are compiled or loaded.
+type Session struct {
+	Machine *interp.Machine
+	// Context is the accumulated static environment: basis, prelude,
+	// then one layer per unit.
+	Context *env.Env
+	// Dyn is the accumulated dynamic environment.
+	Dyn *dynenv.Env
+	// Index is the stamp index over everything loaded so far, used to
+	// rehydrate bin files (§4).
+	Index *pickle.Index
+	// Units records the session's compiled units in order.
+	Units []*Unit
+}
+
+// NewSession builds a session: the primitive basis plus the compiled
+// and executed SML prelude.
+func NewSession(stdout io.Writer) (*Session, error) {
+	s := &Session{
+		Machine: interp.NewMachine(),
+		Context: basis.PrimEnv(),
+		Dyn:     dynenv.New(),
+		Index:   pickle.NewIndex(),
+	}
+	if stdout != nil {
+		s.Machine.Stdout = stdout
+	}
+	s.Index.AddEnv(s.Context)
+	if _, err := s.Run("$prelude", PreludeSource); err != nil {
+		return nil, fmt.Errorf("bootstrapping prelude: %v", err)
+	}
+	return s, nil
+}
+
+// Compile compiles a unit against the current context without
+// executing it or extending the session.
+func (s *Session) Compile(name, source string) (*Unit, error) {
+	return Compile(name, source, s.Context)
+}
+
+// Run compiles a unit, executes it, and extends the session's static
+// and dynamic environments with its exports.
+func (s *Session) Run(name, source string) (*Unit, error) {
+	u, err := Compile(name, source, s.Context)
+	if err != nil {
+		return nil, err
+	}
+	if err := Execute(s.Machine, u, s.Dyn); err != nil {
+		return nil, err
+	}
+	s.Accept(u)
+	return u, nil
+}
+
+// Accept extends the session's static context and index with an
+// already-executed unit (used by the IRM after loading bin files).
+func (s *Session) Accept(u *Unit) {
+	if u.Env.Parent() == nil || u.Env.Parent() != s.Context {
+		// Layer the unit's exports over the current context even when
+		// the unit was elaborated elsewhere (rehydrated from a bin
+		// file): re-root it by copying into a fresh layer.
+		layer := env.New(s.Context)
+		u.Env.CopyInto(layer)
+		s.Context = layer
+	} else {
+		s.Context = u.Env
+	}
+	s.Index.AddEnv(u.Env)
+	s.Units = append(s.Units, u)
+}

@@ -1,0 +1,143 @@
+package compiler
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// mustSession builds a session, failing the test on bootstrap errors.
+func mustSession(t *testing.T) (*Session, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	s, err := NewSession(&out)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return s, &out
+}
+
+// run compiles and executes a unit, failing the test on any error.
+func run(t *testing.T, s *Session, name, src string) *Unit {
+	t.Helper()
+	u, err := s.Run(name, src)
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return u
+}
+
+// valueOf returns the dynamic value exported under the given name by
+// the most recent unit that binds it.
+func valueOf(t *testing.T, s *Session, name string) interp.Value {
+	t.Helper()
+	vb, ok := s.Context.LookupVal(name)
+	if !ok {
+		t.Fatalf("no binding for %s", name)
+	}
+	if vb.ExportPid.IsZero() {
+		t.Fatalf("binding %s has no export pid", name)
+	}
+	v, ok := s.Dyn.Lookup(vb.ExportPid)
+	if !ok {
+		t.Fatalf("no dynamic value for %s (pid %s)", name, vb.ExportPid.Short())
+	}
+	return v
+}
+
+func TestSessionBootstrap(t *testing.T) {
+	s, _ := mustSession(t)
+	if len(s.Units) != 1 {
+		t.Fatalf("expected 1 unit (prelude), got %d", len(s.Units))
+	}
+}
+
+func TestPaperSection3Example(t *testing.T) {
+	s, _ := mustSession(t)
+	run(t, s, "defs", "val x = 3\nval y = 4\nval z = 5")
+	u := run(t, s, "unit1", "val a = x+y\nval b = x+2*z")
+
+	if len(u.Imports) != 3 {
+		t.Fatalf("expected 3 imports (x, y, z), got %d", len(u.Imports))
+	}
+	if u.NumSlots != 2 {
+		t.Fatalf("expected 2 exports (a, b), got %d", u.NumSlots)
+	}
+	if got := valueOf(t, s, "a"); got != interp.IntV(7) {
+		t.Errorf("a = %s, want 7", interp.String(got))
+	}
+	if got := valueOf(t, s, "b"); got != interp.IntV(13) {
+		t.Errorf("b = %s, want 13", interp.String(got))
+	}
+}
+
+func TestArithAndFunctions(t *testing.T) {
+	s, _ := mustSession(t)
+	run(t, s, "u", `
+		fun fact 0 = 1 | fact n = n * fact (n - 1)
+		val f10 = fact 10
+		fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+		val fib15 = fib 15
+		val strs = map Int.toString [1, 2, 3]
+		val joined = String.concatWith "," strs
+		val folded = foldl (fn (a, b) => a + b) 0 [1, 2, 3, 4, 5]
+	`)
+	if got := valueOf(t, s, "f10"); got != interp.IntV(3628800) {
+		t.Errorf("fact 10 = %s", interp.String(got))
+	}
+	if got := valueOf(t, s, "fib15"); got != interp.IntV(610) {
+		t.Errorf("fib 15 = %s", interp.String(got))
+	}
+	if got := valueOf(t, s, "joined"); got != interp.StrV("1,2,3") {
+		t.Errorf("joined = %s", interp.String(got))
+	}
+	if got := valueOf(t, s, "folded"); got != interp.IntV(15) {
+		t.Errorf("folded = %s", interp.String(got))
+	}
+}
+
+func TestFigure1TopSort(t *testing.T) {
+	s, _ := mustSession(t)
+	// Figure 1 of the paper (adapted to an insertion sort): transparent
+	// signature matching must propagate FSort.t = int list through the
+	// functor application, so FSort.sort applies to [12, 6, 3].
+	run(t, s, "fig1", `
+		signature PARTIAL_ORDER = sig
+		  type elem
+		  val less : elem * elem -> bool
+		end
+
+		signature SORT = sig
+		  type t
+		  val sort : t list -> t list
+		end
+
+		functor TopSort (P : PARTIAL_ORDER) : SORT = struct
+		  type t = P.elem
+		  fun insert (x, nil) = [x]
+		    | insert (x, y :: r) =
+		        if P.less (x, y) then x :: y :: r else y :: insert (x, r)
+		  fun sort nil = nil
+		    | sort (x :: r) = insert (x, sort r)
+		end
+
+		structure Factors : PARTIAL_ORDER = struct
+		  type elem = int
+		  fun less (i, j) = j mod i = 0 andalso i < j
+		end
+
+		structure FSort : SORT = TopSort (Factors)
+
+		(* Transparent matching: FSort.t = int, so this typechecks. *)
+		val sorted = FSort.sort [12, 6, 3]
+	`)
+	got := valueOf(t, s, "sorted")
+	want, ok := interp.GoList(got)
+	if !ok || len(want) != 3 {
+		t.Fatalf("sorted = %s", interp.String(got))
+	}
+	if want[0] != interp.IntV(3) || want[1] != interp.IntV(6) || want[2] != interp.IntV(12) {
+		t.Errorf("sorted = %s, want [3, 6, 12]", interp.String(got))
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/pid"
+)
+
+// DirStore persists Entries as ".bin" files in a directory — the
+// paper's on-disk bin files plus the IRM's dependency metadata.
+type DirStore struct {
+	Dir string
+}
+
+// NewDirStore returns a store rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{Dir: dir}, nil
+}
+
+// path maps a unit name to its bin path (the paper's ".d.foo.sml"
+// convention, flattened).
+func (s *DirStore) path(name string) string {
+	safe := strings.NewReplacer("/", "_", "\\", "_", ":", "_").Replace(name)
+	return filepath.Join(s.Dir, safe+".bin")
+}
+
+// Load implements Store.
+func (s *DirStore) Load(name string) (*Entry, bool) {
+	data, err := os.ReadFile(s.path(name))
+	if err != nil {
+		return nil, false
+	}
+	e, err := DecodeEntry(data)
+	if err != nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// Save implements Store.
+func (s *DirStore) Save(name string, e *Entry) error {
+	return os.WriteFile(s.path(name), EncodeEntry(e), 0o644)
+}
+
+const entryMagic = "SMLIRM01"
+
+// EncodeEntry serializes a cache entry.
+func EncodeEntry(e *Entry) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(entryMagic)
+	buf.Write(e.SrcHash[:])
+	buf.Write(e.StatPid[:])
+	writeStrings := func(ss []string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
+		buf.Write(n[:])
+		for _, s := range ss {
+			binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+			buf.Write(n[:])
+			buf.WriteString(s)
+		}
+	}
+	writeStrings(e.DepNames)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(e.DepPids)))
+	buf.Write(n[:])
+	for _, p := range e.DepPids {
+		buf.Write(p[:])
+	}
+	writeStrings(e.Defs)
+	writeStrings(e.Free)
+	binary.LittleEndian.PutUint64(n[:], uint64(len(e.Bin)))
+	buf.Write(n[:])
+	buf.Write(e.Bin)
+	return buf.Bytes()
+}
+
+// DecodeEntry deserializes a cache entry.
+func DecodeEntry(data []byte) (*Entry, error) {
+	if len(data) < len(entryMagic) || string(data[:len(entryMagic)]) != entryMagic {
+		return nil, fmt.Errorf("irm: bad entry magic")
+	}
+	r := bytes.NewReader(data[len(entryMagic):])
+	e := &Entry{}
+	readPid := func() (pid.Pid, error) {
+		var p pid.Pid
+		_, err := r.Read(p[:])
+		return p, err
+	}
+	var err error
+	if e.SrcHash, err = readPid(); err != nil {
+		return nil, err
+	}
+	if e.StatPid, err = readPid(); err != nil {
+		return nil, err
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := r.Read(b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readStrings := func() ([]string, error) {
+		n, err := readU64()
+		if err != nil || n > 1<<24 {
+			return nil, fmt.Errorf("irm: bad string count")
+		}
+		out := make([]string, n)
+		for i := range out {
+			m, err := readU64()
+			if err != nil || m > 1<<24 {
+				return nil, fmt.Errorf("irm: bad string length")
+			}
+			b := make([]byte, m)
+			if _, err := r.Read(b); err != nil {
+				return nil, err
+			}
+			out[i] = string(b)
+		}
+		return out, nil
+	}
+	if e.DepNames, err = readStrings(); err != nil {
+		return nil, err
+	}
+	np, err := readU64()
+	if err != nil || np > 1<<24 {
+		return nil, fmt.Errorf("irm: bad pid count")
+	}
+	e.DepPids = make([]pid.Pid, np)
+	for i := range e.DepPids {
+		if e.DepPids[i], err = readPid(); err != nil {
+			return nil, err
+		}
+	}
+	if e.Defs, err = readStrings(); err != nil {
+		return nil, err
+	}
+	if e.Free, err = readStrings(); err != nil {
+		return nil, err
+	}
+	nb, err := readU64()
+	if err != nil || nb > 1<<32 {
+		return nil, fmt.Errorf("irm: bad bin length")
+	}
+	e.Bin = make([]byte, nb)
+	if _, err := r.Read(e.Bin); err != nil && nb > 0 {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Group is a named collection of source files, the unit of building
+// (§9: the IRM's library groups).
+type Group struct {
+	Name  string
+	Files []File
+}
+
+// LoadGroup reads a ".cm"-style group description: one source filename
+// per line (relative to the group file), '#' comments, and
+// "group other.cm" lines including subgroups (depth-first, each file
+// once).
+func LoadGroup(path string) (*Group, error) {
+	g := &Group{Name: path}
+	seen := map[string]bool{}
+	if err := loadGroupInto(path, g, seen, 0); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func loadGroupInto(path string, g *Group, seen map[string]bool, depth int) error {
+	if depth > 32 {
+		return fmt.Errorf("irm: group nesting too deep at %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if sub, ok := strings.CutPrefix(line, "group "); ok {
+			subPath := filepath.Join(dir, strings.TrimSpace(sub))
+			if seen[subPath] {
+				continue
+			}
+			seen[subPath] = true
+			if err := loadGroupInto(subPath, g, seen, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		srcPath := filepath.Join(dir, line)
+		if seen[srcPath] {
+			continue
+		}
+		seen[srcPath] = true
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return err
+		}
+		g.Files = append(g.Files, File{Name: line, Source: string(src)})
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/pid"
+	"repro/internal/workload"
+)
+
+// chainFiles mirrors the helper in the internal test package.
+func chainFiles(aBody string) []core.File {
+	return []core.File{
+		{Name: "a.sml", Source: aBody},
+		{Name: "b.sml", Source: "structure B = struct val two = A.one + A.one end"},
+		{Name: "c.sml", Source: "structure C = struct val four = B.two + B.two end"},
+	}
+}
+
+const aV1 = "structure A = struct val one = 1 end"
+
+// TestDirStorePersistence: builds persist across manager (process)
+// restarts through the on-disk store.
+func TestDirStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	files := chainFiles(aV1)
+
+	store1, err := core.NewDirStore(filepath.Join(dir, "bins"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := core.NewManager()
+	m1.Store = store1
+	if _, err := m1.Build(files); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Stats.Compiled != 3 {
+		t.Fatalf("cold compiled %d", m1.Stats.Compiled)
+	}
+
+	// "New process": fresh manager over the same directory.
+	store2, err := core.NewDirStore(filepath.Join(dir, "bins"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := core.NewManager()
+	m2.Store = store2
+	if _, err := m2.Build(files); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats.Compiled != 0 || m2.Stats.Loaded != 3 {
+		t.Errorf("restart build: compiled=%d loaded=%d, want 0/3",
+			m2.Stats.Compiled, m2.Stats.Loaded)
+	}
+}
+
+func TestDirStoreCorruptEntryIgnored(t *testing.T) {
+	dir := t.TempDir()
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.sml.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load("a.sml"); ok {
+		t.Error("corrupt entry loaded")
+	}
+	// A build over the corrupt cache falls back to compiling.
+	m := core.NewManager()
+	m.Store = store
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Compiled != 3 {
+		t.Errorf("compiled %d with corrupt cache", m.Stats.Compiled)
+	}
+}
+
+func TestLoadGroup(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, contents string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.sml", "structure A = struct val x = 1 end")
+	write("b.sml", "val y = A.x + 1")
+	write("lib.cm", "# library group\na.sml\n")
+	write("main.cm", "group lib.cm\n\nb.sml\n")
+
+	g, err := core.LoadGroup(filepath.Join(dir, "main.cm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Files) != 2 || g.Files[0].Name != "a.sml" || g.Files[1].Name != "b.sml" {
+		t.Fatalf("group files %+v", g.Files)
+	}
+	m := core.NewManager()
+	if _, err := m.Build(g.Files); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGroupMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "g.cm"), []byte("nope.sml\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadGroup(filepath.Join(dir, "g.cm")); err == nil {
+		t.Error("missing source file not reported")
+	}
+}
+
+func TestGroupCycleBounded(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.cm"), []byte("group a.cm\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Self-include is deduplicated, not an infinite loop.
+	if _, err := core.LoadGroup(filepath.Join(dir, "a.cm")); err != nil {
+		t.Fatalf("self-including group: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cross-cutting properties (testing/quick)
+// ---------------------------------------------------------------------
+
+// unitSourceFor builds a small deterministic unit from a seed.
+func unitSourceFor(seed uint8) string {
+	return fmt.Sprintf(`
+		structure G%d = struct
+		  val v = %d
+		  fun f (x : int) = x + %d
+		  datatype d = K%d of int
+		end
+	`, seed%8, seed, seed%13, seed%8)
+}
+
+// Property: compiling the same source in two fresh sessions yields the
+// same intrinsic pid (cross-session determinism — what makes bin files
+// reusable between processes).
+func TestQuickStatPidDeterministic(t *testing.T) {
+	f := func(seed uint8) bool {
+		src := unitSourceFor(seed)
+		var sink bytes.Buffer
+		s1, err := compiler.NewSession(&sink)
+		if err != nil {
+			return false
+		}
+		u1, err := s1.Compile("u", src)
+		if err != nil {
+			return false
+		}
+		s2, err := compiler.NewSession(&sink)
+		if err != nil {
+			return false
+		}
+		u2, err := s2.Compile("u", src)
+		if err != nil {
+			return false
+		}
+		return u1.StatPid == u2.StatPid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a comment prefix never changes the intrinsic pid; adding an
+// export always does.
+func TestQuickCutoffInvariant(t *testing.T) {
+	var sink bytes.Buffer
+	s, err := compiler.NewSession(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint8) bool {
+		src := unitSourceFor(seed)
+		u1, err := s.Compile("u", src)
+		if err != nil {
+			return false
+		}
+		u2, err := s.Compile("u", fmt.Sprintf("(* %d *) ", seed)+src)
+		if err != nil {
+			return false
+		}
+		u3, err := s.Compile("u", src+fmt.Sprintf("\nval extra%d = true", seed))
+		if err != nil {
+			return false
+		}
+		return u1.StatPid == u2.StatPid && u1.StatPid != u3.StatPid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct unit names give distinct pids even for identical
+// interfaces (generativity across units).
+func TestQuickNameSeparatesPids(t *testing.T) {
+	var sink bytes.Buffer
+	s, err := compiler.NewSession(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint8) bool {
+		src := unitSourceFor(seed)
+		u1, err := s.Compile("first", src)
+		if err != nil {
+			return false
+		}
+		u2, err := s.Compile("second", src)
+		if err != nil {
+			return false
+		}
+		return u1.StatPid != u2.StatPid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on any generated project shape, an implementation edit to
+// any unit recompiles exactly one unit under the cutoff policy.
+func TestQuickImplEditRecompilesOne(t *testing.T) {
+	f := func(seedRaw uint8, shapeRaw uint8, targetRaw uint8) bool {
+		cfg := workload.Small()
+		cfg.Seed = int64(seedRaw)
+		cfg.Shape = workload.Shape(shapeRaw % 4)
+		p := workload.Generate(cfg)
+		target := int(targetRaw) % len(p.Files)
+
+		m := core.NewManager()
+		if _, err := m.Build(p.Files); err != nil {
+			return false
+		}
+		if _, err := m.Build(p.Edit(target, workload.ImplEdit, 1)); err != nil {
+			return false
+		}
+		return m.Stats.Compiled == 1 && m.Stats.Cutoffs == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: build results are observationally identical whether units
+// were compiled or rehydrated — the final statpids agree.
+func TestQuickLoadedEqualsCompiled(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		cfg := workload.Small()
+		cfg.Seed = int64(seedRaw)
+		p := workload.Generate(cfg)
+
+		fresh := core.NewManager()
+		s1, err := fresh.Build(p.Files)
+		if err != nil {
+			return false
+		}
+		warm := core.NewManager()
+		warm.Store = fresh.Store
+		s2, err := warm.Build(p.Files)
+		if err != nil {
+			return false
+		}
+		if warm.Stats.Loaded != len(p.Files) {
+			return false
+		}
+		pids1 := sessionPids(s1)
+		pids2 := sessionPids(s2)
+		if len(pids1) != len(pids2) {
+			return false
+		}
+		for i := range pids1 {
+			if pids1[i] != pids2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sessionPids(s *compiler.Session) []pid.Pid {
+	out := make([]pid.Pid, len(s.Units))
+	for i, u := range s.Units {
+		out[i] = u.StatPid
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package elab
+
+import (
+	"repro/internal/ast"
+	"repro/internal/env"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Match analysis: exhaustiveness and redundancy warnings via the
+// classic pattern-matrix usefulness construction (à la Maranget).
+// These are warnings, not errors — the compiled code already falls
+// through to raise Match/Bind — but they are the diagnostics a
+// production SML compiler (including the paper's SML/NJ) emits.
+
+// spat is a simplified pattern: a wildcard or a constructor
+// application. Records are single-constructor; literals are
+// constructors drawn from an open (never-complete) signature.
+type spat struct {
+	wild bool
+	key  conKey
+	args []spat
+}
+
+// conKey identifies a head constructor within its signature.
+type conKey struct {
+	kind byte   // 'd' data, 'e' exn, 'r' record, 'i'/'w'/'s'/'c' literals
+	tag  int    // data tag / record arity
+	lit  string // literal text / exn identity proxy
+	span int    // 0 = open signature (never complete)
+}
+
+func wildPat() spat { return spat{wild: true} }
+
+func wilds(n int) []spat {
+	out := make([]spat, n)
+	for i := range out {
+		out[i] = wildPat()
+	}
+	return out
+}
+
+// simplify converts a typed AST pattern into a simplified pattern,
+// using the elaborator's resolution maps (so it must run after the
+// pattern has been typed).
+func (el *Elaborator) simplify(p ast.Pat) spat {
+	switch p := p.(type) {
+	case *ast.WildPat:
+		return wildPat()
+	case *ast.VarPat:
+		if info, ok := el.patCon[p]; ok {
+			return el.conPatOf(info.vb, nil)
+		}
+		return wildPat()
+	case *ast.ConstPat:
+		kind := byte('i')
+		switch p.Kind {
+		case token.WORD:
+			kind = 'w'
+		case token.STRING:
+			kind = 's'
+		case token.CHAR:
+			kind = 'c'
+		}
+		return spat{key: conKey{kind: kind, lit: p.Text}}
+	case *ast.ConPat:
+		info := el.patCon[p]
+		if info == nil {
+			return wildPat()
+		}
+		return el.conPatOf(info.vb, []spat{el.simplify(p.Arg)})
+	case *ast.RecordPat:
+		// Use the resolved record type for the field universe; fall
+		// back to the written fields when unresolved.
+		recTy, _ := types.HeadNormalize(el.patRecTy[p]).(*types.Record)
+		if recTy == nil {
+			args := make([]spat, len(p.Fields))
+			for i, f := range p.Fields {
+				args[i] = el.simplify(f.Pat)
+			}
+			return spat{key: conKey{kind: 'r', tag: len(args), span: 1}, args: args}
+		}
+		args := wilds(len(recTy.Labels))
+		for _, f := range p.Fields {
+			for i, l := range recTy.Labels {
+				if l == f.Label {
+					args[i] = el.simplify(f.Pat)
+					break
+				}
+			}
+		}
+		return spat{key: conKey{kind: 'r', tag: len(args), span: 1}, args: args}
+	case *ast.AsPat:
+		return el.simplify(p.Pat)
+	case *ast.TypedPat:
+		return el.simplify(p.Pat)
+	}
+	return wildPat()
+}
+
+// conPatOf builds the simplified form of a constructor pattern.
+func (el *Elaborator) conPatOf(vb *env.ValBind, args []spat) spat {
+	dc := vb.Con
+	if dc.IsExn {
+		// Exceptions form an open signature; identity approximated by
+		// name (sound for warnings: merging distinct same-named tags
+		// can only under-report redundancy, never exhaustiveness).
+		return spat{key: conKey{kind: 'e', lit: dc.Name}, args: args}
+	}
+	span := dc.Span
+	if span <= 0 {
+		span = 0
+	}
+	if dc.HasArg && len(args) == 0 {
+		args = wilds(1)
+	}
+	return spat{key: conKey{kind: 'd', tag: dc.Tag, lit: dc.Name, span: span}, args: args}
+}
+
+// arity returns the sub-pattern count of a constructor key.
+func (k conKey) arity() int {
+	switch k.kind {
+	case 'r':
+		return k.tag
+	case 'd', 'e':
+		return -1 // determined per-pattern (0 or 1); handled in specialize
+	}
+	return 0
+}
+
+// useful reports whether the pattern vector q matches some value no
+// row of the matrix matches.
+func useful(matrix [][]spat, q []spat) bool {
+	if len(q) == 0 {
+		return len(matrix) == 0
+	}
+	head := q[0]
+	if !head.wild {
+		return useful(specialize(matrix, head.key, len(head.args)),
+			append(append([]spat{}, head.args...), q[1:]...))
+	}
+	// Wildcard head: check whether the matrix's first column presents a
+	// complete signature.
+	sigma := map[conKey]int{} // key -> arg count
+	for _, row := range matrix {
+		if len(row) > 0 && !row[0].wild {
+			sigma[row[0].key] = len(row[0].args)
+		}
+	}
+	if complete(sigma) {
+		for key, argc := range sigma {
+			if useful(specialize(matrix, key, argc), append(wilds(argc), q[1:]...)) {
+				return true
+			}
+		}
+		return false
+	}
+	// Incomplete signature: the default matrix.
+	var def [][]spat
+	for _, row := range matrix {
+		if len(row) > 0 && row[0].wild {
+			def = append(def, row[1:])
+		}
+	}
+	return useful(def, q[1:])
+}
+
+// specialize builds S(c, matrix).
+func specialize(matrix [][]spat, key conKey, argc int) [][]spat {
+	var out [][]spat
+	for _, row := range matrix {
+		if len(row) == 0 {
+			continue
+		}
+		head := row[0]
+		switch {
+		case head.wild:
+			out = append(out, append(wilds(argc), row[1:]...))
+		case head.key == key:
+			args := head.args
+			if len(args) < argc {
+				args = append(append([]spat{}, args...), wilds(argc-len(args))...)
+			}
+			out = append(out, append(append([]spat{}, args...), row[1:]...))
+		}
+	}
+	return out
+}
+
+// complete reports whether the set of head constructors covers its
+// signature.
+func complete(sigma map[conKey]int) bool {
+	if len(sigma) == 0 {
+		return false
+	}
+	var span int
+	for key := range sigma {
+		if key.span == 0 {
+			return false // open signature: literals, exceptions
+		}
+		span = key.span
+		if key.kind == 'r' {
+			return true // records: single constructor
+		}
+	}
+	return len(sigma) == span
+}
+
+// checkMatch emits exhaustiveness and redundancy warnings for a match.
+// checkExhaustive is false for handle matches, whose fall-through
+// re-raises by design.
+func (el *Elaborator) checkMatch(pos token.Pos, rules []ast.Rule, checkExhaustive bool, what string) {
+	matrix := make([][]spat, 0, len(rules))
+	for i, r := range rules {
+		row := []spat{el.simplify(r.Pat)}
+		if i > 0 && !useful(matrix, row) {
+			el.warnf(patPos(r.Pat), "%s: redundant rule %d", what, i+1)
+		}
+		matrix = append(matrix, row)
+	}
+	if checkExhaustive && useful(matrix, []spat{wildPat()}) {
+		el.warnf(pos, "%s: match nonexhaustive", what)
+	}
+}
+
+// checkBinding warns when a val binding's pattern is refutable.
+func (el *Elaborator) checkBinding(pos token.Pos, pat ast.Pat) {
+	if useful([][]spat{{el.simplify(pat)}}, []spat{wildPat()}) {
+		el.warnf(pos, "binding not exhaustive (Bind may be raised)")
+	}
+}

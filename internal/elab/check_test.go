@@ -1,0 +1,115 @@
+package elab_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// warningsOf compiles src and returns the joined warnings.
+func warningsOf(t *testing.T, src string) string {
+	t.Helper()
+	s := newSession(t)
+	u, err := s.Compile("warn", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return strings.Join(u.Warnings, "\n")
+}
+
+func TestNonexhaustiveWarnings(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"missing-constructor", `
+			datatype d = A | B | C
+			fun f A = 1 | f B = 2
+		`, true},
+		{"all-constructors", `
+			datatype d = A | B | C
+			fun f A = 1 | f B = 2 | f C = 3
+		`, false},
+		{"wildcard-covers", `
+			datatype d = A | B | C
+			fun f A = 1 | f _ = 0
+		`, false},
+		{"int-literals-open", `fun g 0 = 1 | g 1 = 2`, true},
+		{"int-with-var", `fun g 0 = 1 | g n = n`, false},
+		{"nested-incomplete", `
+			fun h (SOME true) = 1 | h NONE = 0
+		`, true},
+		{"nested-complete", `
+			fun h (SOME true) = 1 | h (SOME false) = 2 | h NONE = 0
+		`, false},
+		{"list-missing-nil", `fun i (x :: _) = x`, true},
+		{"list-complete", `fun i nil = 0 | i (x :: _) = x`, false},
+		{"tuple-complete", `fun j (a, b) = a + b`, false},
+		{"tuple-inner-incomplete", `fun k (true, x) = x`, true},
+		{"bool-complete", `fun l true = 1 | l false = 0`, false},
+		{"string-open", `fun m "a" = 1 | m "b" = 2`, true},
+		{"case-incomplete", `val c = case [1] of x :: _ => x`, true},
+		{"exn-handler-no-warning", `val h = 1 handle Div => 0`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := warningsOf(t, c.src)
+			got := strings.Contains(w, "nonexhaustive")
+			if got != c.want {
+				t.Errorf("warnings = %q, nonexhaustive = %v, want %v", w, got, c.want)
+			}
+		})
+	}
+}
+
+func TestRedundancyWarnings(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"duplicate-constructor", `
+			datatype d = A | B
+			fun f A = 1 | f B = 2 | f A = 3
+		`, true},
+		{"after-wildcard", `fun g _ = 1 | g 0 = 2`, true},
+		{"shadowed-literal", `fun h 0 = 1 | h 0 = 2 | h _ = 3`, true},
+		{"no-redundancy", `
+			datatype d = A | B
+			fun f A = 1 | f B = 2
+		`, false},
+		{"ordered-specific-general", `fun k 0 = 1 | k n = n`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := warningsOf(t, c.src)
+			got := strings.Contains(w, "redundant")
+			if got != c.want {
+				t.Errorf("warnings = %q, redundant = %v, want %v", w, got, c.want)
+			}
+		})
+	}
+}
+
+func TestBindingWarnings(t *testing.T) {
+	if w := warningsOf(t, "val SOME x = SOME 1"); !strings.Contains(w, "binding not exhaustive") {
+		t.Errorf("refutable binding: %q", w)
+	}
+	if w := warningsOf(t, "val (a, b) = (1, 2)"); strings.Contains(w, "binding not exhaustive") {
+		t.Errorf("irrefutable tuple flagged: %q", w)
+	}
+	if w := warningsOf(t, "val x = 1"); strings.Contains(w, "binding") {
+		t.Errorf("plain binding flagged: %q", w)
+	}
+	// A single-constructor datatype is irrefutable.
+	if w := warningsOf(t, "datatype one = One of int\nval One n = One 5"); strings.Contains(w, "binding") {
+		t.Errorf("single-constructor binding flagged: %q", w)
+	}
+}
+
+func TestHandleRedundancyStillChecked(t *testing.T) {
+	w := warningsOf(t, `val v = 1 handle Div => 0 | Div => 1`)
+	if !strings.Contains(w, "redundant") {
+		t.Errorf("redundant handler rule not flagged: %q", w)
+	}
+}

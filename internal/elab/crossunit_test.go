@@ -1,0 +1,180 @@
+package elab_test
+
+import (
+	"testing"
+)
+
+// Cross-unit semantics: each mustRun below is a separate compilation
+// unit, so every reference crosses a unit boundary through the
+// import/export pid machinery.
+
+func TestOpenAcrossUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		structure Lib = struct
+		  val base = 10
+		  fun scale n = n * base
+		  datatype mode = Fast | Slow
+		  structure Inner = struct val deep = 99 end
+		end
+	`)
+	mustRun(t, s, `
+		open Lib
+		val a = scale 4
+		val b = case Fast of Fast => 1 | Slow => 2
+		open Inner
+		val c = deep + 1
+	`)
+	if intOf(t, s, "a") != 40 || intOf(t, s, "b") != 1 || intOf(t, s, "c") != 100 {
+		t.Errorf("open across units: a=%d b=%d c=%d",
+			intOf(t, s, "a"), intOf(t, s, "b"), intOf(t, s, "c"))
+	}
+}
+
+func TestHandlerVariablePattern(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		exception Custom of int
+		val name = (raise Custom 5) handle packet => exnName packet
+		val arg = (raise Custom 5) handle Custom n => n | _ => 0
+	`)
+	if strOf(t, s, "name") != "Custom" {
+		t.Errorf("name = %q", strOf(t, s, "name"))
+	}
+	if intOf(t, s, "arg") != 5 {
+		t.Errorf("arg = %d", intOf(t, s, "arg"))
+	}
+}
+
+func TestFunctorAppliedAcrossThreeUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		functor Lift (X : sig val v : int end) = struct val lifted = X.v + 100 end
+	`)
+	mustRun(t, s, `
+		structure Arg = struct val v = 7 end
+	`)
+	mustRun(t, s, `
+		structure R = Lift (Arg)
+		val out = R.lifted
+	`)
+	if intOf(t, s, "out") != 107 {
+		t.Errorf("out = %d", intOf(t, s, "out"))
+	}
+}
+
+func TestExplicitTyvarBinder(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val 'a idf = fn (x : 'a) => x
+		fun 'b pairf (x : 'b) = (x, x)
+		val u1 = idf 3
+		val u2 = idf "s"
+		val (p, _) = pairf true
+	`)
+	if intOf(t, s, "u1") != 3 {
+		t.Error("explicit tyvar val")
+	}
+	if got := schemeOf(t, s, "idf"); got != "'a -> 'a" {
+		t.Errorf("idf : %s", got)
+	}
+}
+
+func TestStructureLevelDestructuring(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		structure P = struct
+		  val (a, b) = (1, 2)
+		  val h :: rest = [10, 20, 30]
+		end
+	`)
+	mustRun(t, s, `
+		val sum = P.a + P.b + P.h + length P.rest
+	`)
+	if intOf(t, s, "sum") != 15 {
+		t.Errorf("sum = %d", intOf(t, s, "sum"))
+	}
+}
+
+func TestExceptionRaisedAcrossUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		exception Shared of string
+		fun boom () = raise Shared "from unit 1"
+	`)
+	mustRun(t, s, `
+		val msg = boom () handle Shared m => m
+	`)
+	if strOf(t, s, "msg") != "from unit 1" {
+		t.Errorf("msg = %q (exception identity crossed units wrongly)", strOf(t, s, "msg"))
+	}
+}
+
+func TestSignatureUsedAcrossUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature COUNTER = sig
+		  type t
+		  val zero : t
+		  val next : t -> t
+		  val read : t -> int
+		end
+	`)
+	mustRun(t, s, `
+		structure C :> COUNTER = struct
+		  type t = int
+		  val zero = 0
+		  fun next n = n + 1
+		  fun read n = n
+		end
+		val two = C.read (C.next (C.next C.zero))
+	`)
+	if intOf(t, s, "two") != 2 {
+		t.Errorf("two = %d", intOf(t, s, "two"))
+	}
+}
+
+func TestPolymorphicFunctionAcrossUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		fun dup x = (x, x)
+		fun compose f g = fn x => f (g x)
+	`)
+	mustRun(t, s, `
+		val (a, _) = dup 5
+		val (s1, s2) = dup "hi"
+		val inc2 = compose (fn n => n + 1) (fn n => n + 1)
+		val four = inc2 2
+	`)
+	if intOf(t, s, "a") != 5 || intOf(t, s, "four") != 4 {
+		t.Error("polymorphic values across units")
+	}
+	if strOf(t, s, "s1") != "hi" {
+		t.Error("second instantiation")
+	}
+}
+
+func TestRefCellSharedAcrossUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `val cell = ref 0`)
+	mustRun(t, s, `val _ = cell := 41`)
+	mustRun(t, s, `val _ = cell := !cell + 1`)
+	mustRun(t, s, `val final = !cell`)
+	if intOf(t, s, "final") != 42 {
+		t.Errorf("final = %d (ref identity across units)", intOf(t, s, "final"))
+	}
+}
+
+func TestCurriedPartialApplicationAcrossUnits(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		fun add3 a b c = a + b + c
+		val add12 = add3 12
+	`)
+	mustRun(t, s, `
+		val out = add12 20 10
+	`)
+	if intOf(t, s, "out") != 42 {
+		t.Errorf("out = %d (closures across units)", intOf(t, s, "out"))
+	}
+}

@@ -1,0 +1,820 @@
+package elab_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/types"
+)
+
+// newSession builds a session for typing tests.
+func newSession(t *testing.T) *compiler.Session {
+	t.Helper()
+	var sink bytes.Buffer
+	s, err := compiler.NewSession(&sink)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	return s
+}
+
+// mustRun compiles and executes, failing on error.
+func mustRun(t *testing.T, s *compiler.Session, src string) {
+	t.Helper()
+	if _, err := s.Run("test", src); err != nil {
+		t.Fatalf("unexpected error:\n%s\n%v", src, err)
+	}
+}
+
+// mustFail asserts a compile error whose text contains want.
+func mustFail(t *testing.T, s *compiler.Session, src, want string) {
+	t.Helper()
+	_, err := s.Compile("test", src)
+	if err == nil {
+		t.Fatalf("no error for:\n%s", src)
+	}
+	if want != "" && !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err.Error(), want)
+	}
+}
+
+// intOf looks up a top-level int value.
+func intOf(t *testing.T, s *compiler.Session, name string) int64 {
+	t.Helper()
+	vb, ok := s.Context.LookupVal(name)
+	if !ok {
+		t.Fatalf("unbound %s", name)
+	}
+	v, ok := s.Dyn.Lookup(vb.ExportPid)
+	if !ok {
+		t.Fatalf("no value for %s", name)
+	}
+	n, ok := v.(interp.IntV)
+	if !ok {
+		t.Fatalf("%s = %s, not an int", name, interp.String(v))
+	}
+	return int64(n)
+}
+
+// strOf looks up a top-level string value.
+func strOf(t *testing.T, s *compiler.Session, name string) string {
+	t.Helper()
+	vb, ok := s.Context.LookupVal(name)
+	if !ok {
+		t.Fatalf("unbound %s", name)
+	}
+	v, ok := s.Dyn.Lookup(vb.ExportPid)
+	if !ok {
+		t.Fatalf("no value for %s", name)
+	}
+	return string(v.(interp.StrV))
+}
+
+// schemeOf returns the printed type scheme of a binding.
+func schemeOf(t *testing.T, s *compiler.Session, name string) string {
+	t.Helper()
+	vb, ok := s.Context.LookupVal(name)
+	if !ok {
+		t.Fatalf("unbound %s", name)
+	}
+	return types.SchemeString(vb.Scheme)
+}
+
+// ---------------------------------------------------------------------
+// Core typing
+// ---------------------------------------------------------------------
+
+func TestTypeErrors(t *testing.T) {
+	s := newSession(t)
+	mustFail(t, s, `val x = 1 + "two"`, "")
+	mustFail(t, s, `val x = if 1 then 2 else 3`, "if condition")
+	mustFail(t, s, `val x = if true then 2 else "three"`, "if branches")
+	mustFail(t, s, `val f = fn x => x x`, "circular")
+	mustFail(t, s, `val x = unknownName`, "unbound")
+	mustFail(t, s, `val x : bool = 3`, "")
+	mustFail(t, s, `val x = case 1 of true => 2 | false => 3`, "")
+}
+
+func TestPolymorphismAndValueRestriction(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val id = fn x => x
+		val a = id 3
+		val b = id "s"
+		fun pairup x = (x, x)
+	`)
+	if got := schemeOf(t, s, "id"); got != "'a -> 'a" {
+		t.Errorf("id : %s", got)
+	}
+	if got := schemeOf(t, s, "pairup"); got != "'a -> 'a * 'a" {
+		t.Errorf("pairup : %s", got)
+	}
+	// Value restriction: the application (id id) is expansive, so the
+	// binding is monomorphic; using it at two types must fail.
+	mustFail(t, s, `
+		val g = id id
+		val u1 = g 3
+		val u2 = g "s"
+	`, "")
+}
+
+func TestEqualityTypes(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val e1 = [1, 2] = [1, 2]
+		val e2 = (1, "a") = (1, "a")
+		val e3 = ref 1 = ref 1
+	`)
+	mustFail(t, s, `val bad = (fn x => x) = (fn y => y)`, "equality")
+	// A datatype with a function component does not admit equality.
+	mustFail(t, s, `
+		datatype wrap = W of int -> int
+		val bad = W (fn x => x) = W (fn x => x)
+	`, "equality")
+	// But one with only eq components does.
+	mustRun(t, s, `
+		datatype ok = K of int * string
+		val fine = K (1, "a") = K (1, "a")
+	`)
+}
+
+func TestFlexRecords(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		fun getX ({x, ...} : {x : int, y : bool}) = x
+		val three = getX {x = 3, y = true}
+		fun first (p : int * string) = #1 p
+		val one = first (1, "a")
+	`)
+	if intOf(t, s, "three") != 3 {
+		t.Error("flex record selection")
+	}
+	// Unresolvable flex record is an error.
+	mustFail(t, s, `fun bad {x, ...} = x`, "")
+}
+
+func TestSelectorAsFunction(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val pairs = [(1, "a"), (2, "b")]
+		val firsts = map #1 (pairs : (int * string) list)
+		val sum = foldl (fn (a, b) => a + b) 0 firsts
+	`)
+	if intOf(t, s, "sum") != 3 {
+		t.Error("selector-as-function")
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val x = 1
+		val x = x + 1
+		val x = x * 10
+	`)
+	if intOf(t, s, "x") != 20 {
+		t.Errorf("x = %d", intOf(t, s, "x"))
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		fun even 0 = true | even n = odd (n - 1)
+		and odd 0 = false | odd n = even (n - 1)
+		val e = even 10
+		val answer = if e then 1 else 0
+	`)
+	if intOf(t, s, "answer") != 1 {
+		t.Error("mutual recursion")
+	}
+}
+
+func TestValRec(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val rec down = fn 0 => 0 | n => down (n - 1)
+		val z = down 10
+	`)
+	if intOf(t, s, "z") != 0 {
+		t.Error("val rec")
+	}
+	mustFail(t, s, `val rec x = 3`, "fn expression")
+}
+
+func TestExceptions(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		exception Boom of int
+		fun risky 0 = raise Boom 42 | risky n = n
+		val caught = risky 0 handle Boom n => n
+		val passed = risky 7 handle Boom n => n
+		val byname = (raise Fail "oops") handle Fail m => m
+	`)
+	if intOf(t, s, "caught") != 42 || intOf(t, s, "passed") != 7 {
+		t.Error("exception handling")
+	}
+	if strOf(t, s, "byname") != "oops" {
+		t.Error("basis Fail")
+	}
+}
+
+func TestExceptionGenerativity(t *testing.T) {
+	s := newSession(t)
+	// Two evaluations of the same exception declaration produce
+	// distinct tags; a handler for one must not catch the other.
+	mustRun(t, s, `
+		fun mk () = let exception Local in (fn () => raise Local, fn f => (f (); 0) handle Local => 1) end
+		val (raise1, _) = mk ()
+		val (_, catch2) = mk ()
+		val leaked = (catch2 raise1) handle _ => 99
+	`)
+	if intOf(t, s, "leaked") != 99 {
+		t.Errorf("leaked = %d: generative exception caught by foreign handler", intOf(t, s, "leaked"))
+	}
+}
+
+func TestExceptionAlias(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		exception Original of string
+		exception Alias = Original
+		val v = (raise Alias "via alias") handle Original s => s
+	`)
+	if strOf(t, s, "v") != "via alias" {
+		t.Error("exception aliasing")
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+		fun sum Leaf = 0
+		  | sum (Node (l, v, r)) = sum l + v + sum r
+		val t3 = Node (Node (Leaf, 1, Leaf), 2, Node (Leaf, 3, Leaf))
+		val total = sum t3
+		fun depth Leaf = 0
+		  | depth (Node (l, _, r)) = 1 + Int.max (depth l, depth r)
+		val d = depth t3
+		val m = case (1, "x") of (0, _) => "zero" | (_, s) => s
+		fun classify 0 = "zero" | classify 1 = "one" | classify _ = "many"
+		val c = classify 5
+		val nested = case SOME (1 :: 2 :: nil) of
+		    SOME (x :: _) => x
+		  | SOME nil => ~1
+		  | NONE => ~2
+	`)
+	if intOf(t, s, "total") != 6 || intOf(t, s, "d") != 2 {
+		t.Error("tree recursion")
+	}
+	if strOf(t, s, "m") != "x" || strOf(t, s, "c") != "many" {
+		t.Error("constant patterns")
+	}
+	if intOf(t, s, "nested") != 1 {
+		t.Error("nested constructor pattern")
+	}
+}
+
+func TestMatchFailureRaisesMatch(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		fun partial 1 = "one"
+		val r = partial 2 handle Match => "no match"
+	`)
+	if strOf(t, s, "r") != "no match" {
+		t.Error("Match exception")
+	}
+}
+
+func TestBindFailureRaisesBind(t *testing.T) {
+	s := newSession(t)
+	_, err := s.Run("test", `val SOME x = NONE`)
+	if err == nil || !strings.Contains(err.Error(), "Bind") {
+		t.Errorf("want uncaught Bind, got %v", err)
+	}
+}
+
+func TestAsPatternsAndWildcards(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		fun firstTwo (all as x :: y :: _) = (all, x + y)
+		  | firstTwo l = (l, 0)
+		val (orig, s2) = firstTwo [10, 20, 30]
+		val len = length orig
+	`)
+	if intOf(t, s, "s2") != 30 || intOf(t, s, "len") != 3 {
+		t.Error("as patterns")
+	}
+}
+
+func TestReferencesAndWhile(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val counter = ref 0
+		val _ = while !counter < 10 do counter := !counter + 1
+		val final = !counter
+	`)
+	if intOf(t, s, "final") != 10 {
+		t.Error("refs/while")
+	}
+}
+
+func TestOverloadingDefaults(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val i = 1 + 2              (* defaults to int *)
+		val r = 1.5 + 2.5          (* resolved to real *)
+		val w = 0w3 + 0w4          (* resolved to word *)
+		val c = #"a" < #"b"
+		val st = "a" < "b"
+		fun double x = x + x       (* unresolved: defaults to int *)
+	`)
+	if got := schemeOf(t, s, "double"); got != "int -> int" {
+		t.Errorf("double : %s (overload defaulting)", got)
+	}
+	if got := schemeOf(t, s, "r"); got != "real" {
+		t.Errorf("r : %s", got)
+	}
+	mustFail(t, s, `val bad = 1 + 1.5`, "")
+	mustFail(t, s, `val bad = true + false`, "")
+}
+
+func TestLocalHiding(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		local
+		  fun helper x = x * 2
+		in
+		  val v = helper 21
+		end
+	`)
+	if intOf(t, s, "v") != 42 {
+		t.Error("local")
+	}
+	if _, ok := s.Context.LookupVal("helper"); ok {
+		t.Error("local binding leaked")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Modules
+// ---------------------------------------------------------------------
+
+func TestSignatureThinning(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature ONLY_F = sig val f : int -> int end
+		structure M : ONLY_F = struct
+		  val hidden = 100
+		  fun f x = x + hidden
+		end
+		val r = M.f 1
+	`)
+	if intOf(t, s, "r") != 101 {
+		t.Error("thinned structure")
+	}
+	sb, _ := s.Context.LookupStr("M")
+	if _, ok := sb.Str.Env.LocalVal("hidden"); ok {
+		t.Error("signature did not thin hidden binding")
+	}
+}
+
+func TestSignatureMismatches(t *testing.T) {
+	s := newSession(t)
+	mustFail(t, s, `
+		signature S = sig val f : int -> int end
+		structure M : S = struct val g = 1 end
+	`, "missing value f")
+	mustFail(t, s, `
+		signature S = sig val f : int -> int end
+		structure M : S = struct val f = "not a function" end
+	`, "signature mismatch")
+	mustFail(t, s, `
+		signature S = sig type t val x : t end
+		structure M : S = struct val x = 1 end
+	`, "missing type")
+	mustFail(t, s, `
+		signature S = sig type 'a t end
+		structure M : S = struct type t = int end
+	`, "arity")
+	mustFail(t, s, `
+		signature S = sig eqtype t end
+		structure M : S = struct type t = int -> int end
+	`, "equality")
+	// Polymorphic spec cannot be matched by a monomorphic value.
+	mustFail(t, s, `
+		signature S = sig val id : 'a -> 'a end
+		structure M : S = struct fun id (x : int) = x end
+	`, "signature mismatch")
+	// But a polymorphic value matches a monomorphic spec.
+	mustRun(t, s, `
+		signature S2 = sig val id : int -> int end
+		structure M2 : S2 = struct fun id x = x end
+		val ok = M2.id 4
+	`)
+}
+
+func TestTransparentTypeSpec(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature S = sig type t = int val x : t end
+		structure M : S = struct type t = int val x = 5 end
+		val y = M.x + 1
+	`)
+	if intOf(t, s, "y") != 6 {
+		t.Error("transparent type spec")
+	}
+	mustFail(t, s, `
+		signature S = sig type t = int val x : t end
+		structure M : S = struct type t = bool val x = true end
+	`, "agree")
+}
+
+func TestOpaqueAscription(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature COUNTER = sig
+		  type t
+		  val zero : t
+		  val inc : t -> t
+		  val get : t -> int
+		end
+		structure C :> COUNTER = struct
+		  type t = int
+		  val zero = 0
+		  fun inc n = n + 1
+		  fun get n = n
+		end
+		val two = C.get (C.inc (C.inc C.zero))
+	`)
+	if intOf(t, s, "two") != 2 {
+		t.Error("opaque counter")
+	}
+	// The representation must NOT leak: C.t is not int.
+	mustFail(t, s, `val leak = C.inc 3`, "")
+	// Whereas transparent ascription does expose it.
+	mustRun(t, s, `
+		structure CT : COUNTER = struct
+		  type t = int
+		  val zero = 0
+		  fun inc n = n + 1
+		  fun get n = n
+		end
+		val fine = CT.inc 3
+	`)
+}
+
+func TestDatatypeSpec(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature SHAPE = sig
+		  datatype shape = Circle of int | Square of int
+		  val area : shape -> int
+		end
+		structure Sh : SHAPE = struct
+		  datatype shape = Circle of int | Square of int
+		  fun area (Circle r) = 3 * r * r
+		    | area (Square s) = s * s
+		end
+		val a = Sh.area (Sh.Circle 2)
+	`)
+	if intOf(t, s, "a") != 12 {
+		t.Error("datatype spec constructors")
+	}
+	mustFail(t, s, `
+		signature D = sig datatype d = A | B end
+		structure M : D = struct datatype d = A | C end
+	`, "constructor")
+}
+
+func TestWhereType(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature ELEM = sig type t val combine : t * t -> t end
+		signature INT_ELEM = ELEM where type t = int
+		structure IE : INT_ELEM = struct
+		  type t = int
+		  fun combine (a, b) = a + b
+		end
+		val five = IE.combine (2, 3)
+	`)
+	if intOf(t, s, "five") != 5 {
+		t.Error("where type")
+	}
+	mustFail(t, s, `
+		structure Bad : INT_ELEM = struct
+		  type t = string
+		  fun combine (a, b) = a ^ b
+		end
+	`, "")
+}
+
+func TestSharingConstraint(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature TWO = sig
+		  structure A : sig type t val mk : int -> t end
+		  structure B : sig type t val use : t -> int end
+		  sharing type A.t = B.t
+		end
+		structure T : TWO = struct
+		  structure A = struct type t = int fun mk n = n end
+		  structure B = struct type t = int fun use n = n + 1 end
+		end
+		val through = T.B.use (T.A.mk 41)
+	`)
+	if intOf(t, s, "through") != 42 {
+		t.Error("sharing constraint")
+	}
+}
+
+func TestInclude(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature BASE = sig val base : int end
+		signature EXT = sig include BASE val ext : int end
+		structure E : EXT = struct val base = 1 val ext = 2 end
+		val sum = E.base + E.ext
+	`)
+	if intOf(t, s, "sum") != 3 {
+		t.Error("include")
+	}
+}
+
+func TestNestedStructures(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		structure Outer = struct
+		  val a = 1
+		  structure Inner = struct
+		    val b = 2
+		    structure Deepest = struct val c = 3 end
+		  end
+		end
+		val total = Outer.a + Outer.Inner.b + Outer.Inner.Deepest.c
+	`)
+	if intOf(t, s, "total") != 6 {
+		t.Error("nested structure paths")
+	}
+}
+
+func TestOpen(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		structure M = struct
+		  val x = 10
+		  fun f n = n * x
+		  datatype d = D of int
+		  structure Sub = struct val y = 5 end
+		end
+		open M
+		val fx = f 3
+		val dv = case D 7 of D n => n
+		open Sub
+		val yy = y + 1
+	`)
+	if intOf(t, s, "fx") != 30 || intOf(t, s, "dv") != 7 || intOf(t, s, "yy") != 6 {
+		t.Error("open")
+	}
+}
+
+func TestFunctorGenerativity(t *testing.T) {
+	s := newSession(t)
+	// Each functor application regenerates its datatypes: values of
+	// T1.t and T2.t must not mix.
+	mustRun(t, s, `
+		functor MkT (X : sig end) = struct datatype t = V of int end
+		structure T1 = MkT (struct end)
+		structure T2 = MkT (struct end)
+		val v1 = T1.V 1
+	`)
+	mustFail(t, s, `val mixed = case v1 of T2.V n => n`, "")
+}
+
+func TestFunctorDefinitionTimeChecking(t *testing.T) {
+	s := newSession(t)
+	// A type error inside an unapplied functor body is caught at the
+	// declaration (the body is checked against a formal parameter).
+	mustFail(t, s, `
+		functor Broken (X : sig val n : int end) = struct
+		  val bad = X.n ^ "oops"
+		end
+	`, "")
+}
+
+func TestFunctorClosure(t *testing.T) {
+	s := newSession(t)
+	// The functor body references a helper from its definition context;
+	// applying it from a later unit still finds it through the closure.
+	mustRun(t, s, `
+		val seed = 100
+		fun scale n = n * seed
+		functor Scaled (X : sig val v : int end) = struct val out = scale X.v end
+	`)
+	mustRun(t, s, `
+		structure S1 = Scaled (struct val v = 2 end)
+		val r = S1.out
+	`)
+	if intOf(t, s, "r") != 200 {
+		t.Error("functor closure")
+	}
+}
+
+func TestFunctorResultAscription(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature OUT = sig val out : int end
+		functor F (X : sig val n : int end) : OUT = struct
+		  val hidden = X.n * 2
+		  val out = hidden + 1
+		end
+		structure R = F (struct val n = 10 end)
+		val v = R.out
+	`)
+	if intOf(t, s, "v") != 21 {
+		t.Error("functor result ascription")
+	}
+	sb, _ := s.Context.LookupStr("R")
+	if _, ok := sb.Str.Env.LocalVal("hidden"); ok {
+		t.Error("result ascription did not thin")
+	}
+}
+
+func TestFunctorArgumentMismatch(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `functor G (X : sig val n : int end) = struct val m = X.n end`)
+	mustFail(t, s, `structure Bad = G (struct val n = "s" end)`, "signature mismatch")
+	mustFail(t, s, `structure Bad = G (struct val wrong = 1 end)`, "missing value n")
+}
+
+func TestHigherOrderishChains(t *testing.T) {
+	s := newSession(t)
+	// Functor applied to the result of another functor application.
+	mustRun(t, s, `
+		functor AddOne (X : sig val n : int end) = struct val n = X.n + 1 end
+		structure A = AddOne (struct val n = 0 end)
+		structure B = AddOne (A)
+		structure C = AddOne (B)
+		val three = C.n
+	`)
+	if intOf(t, s, "three") != 3 {
+		t.Error("chained functor applications")
+	}
+}
+
+func TestDatatypeReplication(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		structure M = struct datatype c = Red | Blue end
+		datatype c2 = datatype M.c
+		val isRed = case Red of Red => true | Blue => false
+		val same : M.c = Red
+	`)
+}
+
+func TestTypeAbbreviationsAcrossModules(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		structure M = struct
+		  type point = int * int
+		  fun norm1 ((a, b) : point) = abs a + abs b
+		end
+		val p : M.point = (3, ~4)
+		val n = M.norm1 p
+	`)
+	if intOf(t, s, "n") != 7 {
+		t.Error("type abbreviation across modules")
+	}
+}
+
+func TestWithtype(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		datatype expr = Num of int | Add of args
+		withtype args = expr * expr
+		fun eval (Num n) = n
+		  | eval (Add (a, b)) = eval a + eval b
+		val seven = eval (Add (Num 3, Num 4))
+	`)
+	if intOf(t, s, "seven") != 7 {
+		t.Error("withtype")
+	}
+}
+
+func TestArrays(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val a = Array.array (5, 0)
+		val _ = Array.update (a, 2, 42)
+		val v = Array.sub (a, 2)
+		val n = Array.length a
+		val b = Array.fromList [1, 2, 3]
+		val _ = Array.modify (fn x => x * 10) b
+		val l = Array.toList b
+		val t = Array.tabulate (4, fn i => i * i)
+		val t3 = Array.sub (t, 3)
+		val oob = Array.sub (a, 99) handle Subscript => ~1
+	`)
+	if intOf(t, s, "v") != 42 || intOf(t, s, "n") != 5 {
+		t.Error("array basics")
+	}
+	if intOf(t, s, "t3") != 9 {
+		t.Error("tabulate")
+	}
+	if intOf(t, s, "oob") != -1 {
+		t.Error("Subscript")
+	}
+	// Arrays are mutable aliases: two names, one storage.
+	mustRun(t, s, `
+		val shared = Array.array (1, 0)
+		val alias = shared
+		val _ = Array.update (alias, 0, 7)
+		val seen = Array.sub (shared, 0)
+		val ident = shared = alias
+	`)
+	if intOf(t, s, "seen") != 7 {
+		t.Error("aliasing")
+	}
+}
+
+func TestVectors(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		val v = Vector.fromList [1, 2, 3]
+		val second = Vector.sub (v, 1)
+		val n = Vector.length v
+		val sq = Vector.tabulate (4, fn i => i * i)
+		val nine = Vector.sub (sq, 3)
+		(* Vectors are immutable and compare structurally. *)
+		val same = Vector.fromList [1, 2] = Vector.fromList [1, 2]
+		val diff = Vector.fromList [1, 2] = Vector.fromList [1, 3]
+		val lst = Vector.toList (Vector.mapVec (fn x => x * 10) v)
+		val oob = Vector.sub (v, 9) handle Subscript => ~1
+	`)
+	if intOf(t, s, "second") != 2 || intOf(t, s, "n") != 3 || intOf(t, s, "nine") != 9 {
+		t.Error("vector basics")
+	}
+	if intOf(t, s, "oob") != -1 {
+		t.Error("Subscript")
+	}
+	sameVB, _ := s.Context.LookupVal("same")
+	sameV, _ := s.Dyn.Lookup(sameVB.ExportPid)
+	diffVB, _ := s.Context.LookupVal("diff")
+	diffV, _ := s.Dyn.Lookup(diffVB.ExportPid)
+	if !interp.Truth(sameV) || interp.Truth(diffV) {
+		t.Error("vector structural equality")
+	}
+	lstVB, _ := s.Context.LookupVal("lst")
+	lstV, _ := s.Dyn.Lookup(lstVB.ExportPid)
+	elems, _ := interp.GoList(lstV)
+	if len(elems) != 3 || elems[0] != interp.IntV(10) {
+		t.Errorf("mapVec: %s", interp.String(lstV))
+	}
+}
+
+func TestAbstype(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		abstype money = Cents of int
+		with
+		  fun dollars n = Cents (n * 100)
+		  fun amount (Cents c) = c
+		  fun add (Cents a, Cents b) = Cents (a + b)
+		end
+		val m = add (dollars 2, dollars 3)
+		val total = amount m
+	`)
+	if intOf(t, s, "total") != 500 {
+		t.Errorf("total = %d", intOf(t, s, "total"))
+	}
+	// Constructor is not visible outside the body.
+	mustFail(t, s, `val leak = Cents 5`, "unbound")
+	// The abstract type does not admit equality outside.
+	mustFail(t, s, `val eq = m = m`, "equality")
+	// But the type itself remains usable.
+	mustRun(t, s, `val m2 : money = dollars 7`)
+}
+
+func TestFootnote6TypeChange(t *testing.T) {
+	// Footnote 6 of the paper: unit 2 uses unit 1's type only in a
+	// local abbreviation; changing t from int to real changes unit 1's
+	// interface (so cutoff recompiles unit 2), but execution could
+	// never go wrong either way — our system recompiles and both
+	// versions run.
+	s := newSession(t)
+	mustRun(t, s, `type t = int`)
+	mustRun(t, s, `local type u = t in val i = 5 end`)
+	if intOf(t, s, "i") != 5 {
+		t.Error("footnote 6, int version")
+	}
+	s2 := newSession(t)
+	mustRun(t, s2, `type t = real`)
+	mustRun(t, s2, `local type u = t in val i = 5 end`)
+	if intOf(t, s2, "i") != 5 {
+		t.Error("footnote 6, real version")
+	}
+}

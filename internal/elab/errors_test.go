@@ -1,0 +1,120 @@
+package elab_test
+
+import (
+	"testing"
+)
+
+// Diagnostics: every kind of user error must produce a targeted
+// message, never a crash or a silent mis-elaboration.
+
+func TestModuleErrors(t *testing.T) {
+	s := newSession(t)
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unbound-structure", `val x = Missing.y`, "unbound structure"},
+		{"unbound-signature", `structure M : NOSIG = struct end`, "unbound signature"},
+		{"unbound-functor", `structure M = NoFct (struct end)`, "unbound functor"},
+		{"no-substructure", `
+			structure A = struct val x = 1 end
+			val y = A.B.z
+		`, "no substructure"},
+		{"missing-component", `
+			structure A = struct val x = 1 end
+			val y = A.missing
+		`, "has no value missing"},
+		{"where-non-flex", `
+			signature S = sig type t = int end
+			signature T = S where type t = bool
+		`, "not a flexible type"},
+		{"where-unbound", `
+			signature S = sig val x : int end
+			signature T = S where type nope = int
+		`, "unbound type"},
+		{"unbound-tycon", `val x : missing = 1`, "unbound type constructor"},
+		{"tycon-arity", `val x : (int, bool) list = nil`, "expects 1 argument"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mustFail(t, s, c.src, c.want)
+		})
+	}
+}
+
+func TestCoreErrors(t *testing.T) {
+	s := newSession(t)
+	cases := []struct {
+		name, src, want string
+	}{
+		{"con-arity-pattern", `val f = fn SOME => 1`, "requires an argument"},
+		{"nullary-con-applied-pattern", `val f = fn (NONE x) => 1`, "takes no argument"},
+		{"real-pattern", `val f = fn 1.5 => 1`, "real literal"},
+		{"duplicate-record-label", `val r = {a = 1, a = 2}`, "duplicate record label"},
+		{"record-label-missing", `val x = #nope {a = 1}`, "lacks field"},
+		{"raise-non-exn", `val x = raise 5`, "raise operand"},
+		{"int-literal-overflow", `val x = 99999999999999999999999999`, "out of range"},
+		{"rigid-annotation-conflict", `val f = fn (x : int) => x ^ "s"`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mustFail(t, s, c.src, c.want)
+		})
+	}
+}
+
+// TestSharingWithRigidType documents a liberal extension: sharing a
+// flexible type with a rigid one behaves like `where type` (SML97
+// would reject it; SML/NJ of the paper's era accepted it similarly).
+func TestSharingWithRigidType(t *testing.T) {
+	s := newSession(t)
+	mustRun(t, s, `
+		signature S = sig
+		  type t = int
+		  type u
+		  sharing type t = u
+		  val mk : u
+		end
+		structure M : S = struct type t = int type u = int val mk = 5 end
+		val v = M.mk + 1
+	`)
+	if intOf(t, s, "v") != 6 {
+		t.Error("sharing with rigid type")
+	}
+	mustFail(t, s, `
+		structure Bad : S = struct type t = int type u = bool val mk = true end
+	`, "")
+}
+
+func TestErrorPositionsReported(t *testing.T) {
+	s := newSession(t)
+	_, err := s.Compile("pos", "val x = 1\nval y = unknownName")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := err.Error(); !containsStr(got, "2:9") {
+		t.Errorf("error lacks position 2:9: %q", got)
+	}
+}
+
+func TestMultipleErrorsCollected(t *testing.T) {
+	s := newSession(t)
+	_, err := s.Compile("multi", `
+		val a = 1 + "x"
+		val b = 2 + true
+	`)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := err.Error(); !containsStr(got, "2 errors") {
+		t.Errorf("errors not aggregated: %q", got)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,867 @@
+package elab
+
+import (
+	"repro/internal/ast"
+	"repro/internal/basis"
+	"repro/internal/env"
+	"repro/internal/lambda"
+	"repro/internal/pid"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// ---------------------------------------------------------------------
+// Structure declarations and expressions
+// ---------------------------------------------------------------------
+
+// elabStructureDec handles structure S [: SIG] = strexp and ... .
+func (el *Elaborator) elabStructureDec(d *ast.StructureDec, e *env.Env, sc *slotCtx) wrapFn {
+	wrap := idWrap
+	for _, sb := range d.Sbs {
+		se := sb.Str
+		if sb.Sig != nil {
+			se = &ast.ConstraintStrExp{Str: se, Sig: sb.Sig, Opaque: sb.Opaque}
+		}
+		str, code := el.elabStrExp(se, e)
+		lv := el.lg.Fresh()
+		nsb := &env.StrBind{Str: str, Slot: -1}
+		acc := lambda.Exp(&lambda.Var{LV: lv})
+		el.registerAccess(nsb, acc)
+		if sc != nil {
+			nsb.Slot = sc.add(acc, SlotBinding{Name: sb.Name, Str: nsb})
+		}
+		e.DefineStr(sb.Name, nsb)
+		codeCopy := code
+		prev := wrap
+		wrap = func(body lambda.Exp) lambda.Exp {
+			return prev(&lambda.Let{LV: lv, Bind: codeCopy, Body: body})
+		}
+	}
+	return wrap
+}
+
+// elabStrExp elaborates a structure expression, returning its static
+// object and the code computing its runtime record.
+func (el *Elaborator) elabStrExp(se ast.StrExp, e *env.Env) (*env.Structure, lambda.Exp) {
+	switch se := se.(type) {
+	case *ast.StructStrExp:
+		layer := env.New(e)
+		sub := &slotCtx{}
+		wrap := el.elabDecs(se.Decs, layer, sub)
+		code := wrap(&lambda.Record{Fields: sub.exprs})
+		str := &env.Structure{Stamp: el.sg.Fresh(), Env: layer, NumSlots: len(sub.exprs)}
+		return str, code
+
+	case *ast.PathStrExp:
+		sb, acc := el.lookupStrPath(e, se.Path, se.Path.Parts)
+		return sb.Str, acc
+
+	case *ast.AppStrExp:
+		return el.elabFunctorApp(se, e)
+
+	case *ast.ConstraintStrExp:
+		str, code := el.elabStrExp(se.Str, e)
+		sig := el.elabSigExp(se.Sig, e)
+		res, coerce := el.matchSig(strExpPos(se.Str), str, sig, se.Opaque)
+		lv := el.lg.Fresh()
+		coerced := &lambda.Let{LV: lv, Bind: code, Body: coerce(&lambda.Var{LV: lv})}
+		return res, coerced
+
+	case *ast.LetStrExp:
+		layer := env.New(e)
+		wrap := el.elabDecs(se.Decs, layer, nil)
+		str, code := el.elabStrExp(se.Body, layer)
+		return str, wrap(code)
+	}
+	panic("elab: unknown structure expression")
+}
+
+func strExpPos(se ast.StrExp) token.Pos {
+	switch se := se.(type) {
+	case *ast.StructStrExp:
+		return se.Pos
+	case *ast.PathStrExp:
+		return se.Path.Pos
+	case *ast.AppStrExp:
+		return se.Pos
+	case *ast.ConstraintStrExp:
+		return strExpPos(se.Str)
+	case *ast.LetStrExp:
+		return se.Pos
+	}
+	return token.Pos{}
+}
+
+// ---------------------------------------------------------------------
+// Signature declarations and expressions
+// ---------------------------------------------------------------------
+
+// elabSignatureDec binds signatures as (AST, trimmed closure) pairs.
+func (el *Elaborator) elabSignatureDec(d *ast.SignatureDec, e *env.Env) {
+	for _, sb := range d.Sbs {
+		free := FreeOfSigExp(sb.Sig)
+		closure := el.trimEnv(e, free)
+		e.DefineSig(sb.Name, &env.SigBind{Name: sb.Name, Def: sb.Sig, Closure: closure})
+		// Elaborate once for error checking.
+		el.elabSigExp(sb.Sig, e)
+	}
+}
+
+// sigBuild carries state while elaborating one signature body.
+type sigBuild struct {
+	formals []*types.Tycon
+	slots   int
+}
+
+// elabSigExp elaborates a signature expression into a fresh template.
+func (el *Elaborator) elabSigExp(se ast.SigExp, e *env.Env) *env.Signature {
+	b := &sigBuild{}
+	specEnv := env.New(e)
+	el.elabSigInto(se, e, specEnv, b)
+	return &env.Signature{
+		Stamp: el.sg.Fresh(), Env: specEnv, Formals: b.formals, NumSlots: b.slots,
+	}
+}
+
+// elabSigInto elaborates a signature expression's specs into specEnv.
+func (el *Elaborator) elabSigInto(se ast.SigExp, e *env.Env, specEnv *env.Env, b *sigBuild) {
+	switch se := se.(type) {
+	case *ast.SigSigExp:
+		for _, spec := range se.Specs {
+			el.elabSpec(spec, specEnv, b)
+		}
+
+	case *ast.NameSigExp:
+		sb, ok := e.LookupSig(se.Name)
+		if !ok {
+			el.fatalf(se.Pos, "unbound signature %s", se.Name)
+		}
+		// Re-elaborate the named signature in its own closure, then
+		// merge its fresh template into the current spec env.
+		inner := el.elabSigExp(sb.Def, sb.Closure)
+		el.includeSig(inner, specEnv, b, se.Pos)
+
+	case *ast.WhereSigExp:
+		// Elaborate the base signature into a fresh sub-build so its
+		// formals can be realized, then merge.
+		sub := &sigBuild{}
+		subEnv := env.New(e)
+		el.elabSigInto(se.Sig, e, subEnv, sub)
+		el.applyWhereType(se, e, subEnv, sub)
+		el.mergeSig(subEnv, sub, specEnv, b, sigExpPos(se.Sig))
+	}
+}
+
+func sigExpPos(se ast.SigExp) token.Pos {
+	switch se := se.(type) {
+	case *ast.SigSigExp:
+		return se.Pos
+	case *ast.NameSigExp:
+		return se.Pos
+	case *ast.WhereSigExp:
+		return sigExpPos(se.Sig)
+	}
+	return token.Pos{}
+}
+
+// includeSig merges a freshly elaborated template into the current spec
+// env (include and named-sig references): slots renumber sequentially,
+// formals accumulate.
+func (el *Elaborator) includeSig(inner *env.Signature, specEnv *env.Env, b *sigBuild, pos token.Pos) {
+	el.mergeSigEnv(inner.Env, specEnv, b)
+	b.formals = append(b.formals, inner.Formals...)
+	_ = pos
+}
+
+// mergeSig is includeSig for a raw (env, build) pair.
+func (el *Elaborator) mergeSig(subEnv *env.Env, sub *sigBuild, specEnv *env.Env, b *sigBuild, pos token.Pos) {
+	el.mergeSigEnv(subEnv, specEnv, b)
+	b.formals = append(b.formals, sub.formals...)
+	_ = pos
+}
+
+// mergeSigEnv copies one template layer into another, renumbering slots.
+func (el *Elaborator) mergeSigEnv(src *env.Env, dst *env.Env, b *sigBuild) {
+	for _, ent := range src.Order() {
+		switch ent.NS {
+		case env.NSVal:
+			vb, _ := src.LocalVal(ent.Name)
+			if vb.Slot < 0 {
+				dst.DefineVal(ent.Name, vb)
+				continue
+			}
+			nvb := &env.ValBind{Scheme: vb.Scheme, Con: vb.Con, Slot: b.slots}
+			b.slots++
+			dst.DefineVal(ent.Name, nvb)
+		case env.NSTycon:
+			tc, _ := src.LocalTycon(ent.Name)
+			dst.DefineTycon(ent.Name, tc)
+		case env.NSStr:
+			sb, _ := src.LocalStr(ent.Name)
+			nsb := &env.StrBind{Str: sb.Str, Slot: b.slots}
+			b.slots++
+			dst.DefineStr(ent.Name, nsb)
+		case env.NSSig:
+			sb, _ := src.LocalSig(ent.Name)
+			dst.DefineSig(ent.Name, sb)
+		case env.NSFct:
+			fb, _ := src.LocalFct(ent.Name)
+			dst.DefineFct(ent.Name, fb)
+		}
+	}
+}
+
+// applyWhereType realizes a formal tycon of the template in place.
+func (el *Elaborator) applyWhereType(se *ast.WhereSigExp, e *env.Env, specEnv *env.Env, b *sigBuild) {
+	tc := el.resolveSigTycon(specEnv, se.Tycon)
+	if tc == nil {
+		el.fatalf(se.Tycon.Pos, "where type: unbound type %s in signature", se.Tycon)
+	}
+	if tc.Kind != types.KindFormal {
+		el.fatalf(se.Tycon.Pos, "where type: %s is not a flexible type in the signature", se.Tycon)
+	}
+	if len(se.TyVars) != tc.Arity {
+		el.errorf(se.Tycon.Pos, "where type: arity mismatch for %s", se.Tycon)
+	}
+	scope := el.pushTyvars(se.TyVars)
+	body := el.elabTy(e, se.Ty)
+	el.popTyvars()
+	vars := make([]*types.Var, len(se.TyVars))
+	for i, n := range se.TyVars {
+		vars[i] = scope.m[n]
+	}
+	// Realize in place: every existing reference shares the pointer.
+	tc.Kind = types.KindAbbrev
+	tc.Abbrev = types.MakeTyFun(vars, body)
+	b.formals = removeTycon(b.formals, tc)
+}
+
+// resolveSigTycon resolves a (possibly structure-qualified) tycon path
+// within a signature template env.
+func (el *Elaborator) resolveSigTycon(specEnv *env.Env, id ast.LongID) *types.Tycon {
+	e := specEnv
+	for _, part := range id.Qualifier() {
+		sb, ok := e.LookupStr(part)
+		if !ok {
+			return nil
+		}
+		e = sb.Str.Env
+	}
+	tc, ok := e.LookupTycon(id.Base())
+	if !ok {
+		return nil
+	}
+	return tc
+}
+
+func removeTycon(list []*types.Tycon, tc *types.Tycon) []*types.Tycon {
+	out := list[:0]
+	for _, t := range list {
+		if t != tc {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// elabSpec elaborates one specification into the template.
+func (el *Elaborator) elabSpec(spec ast.Spec, specEnv *env.Env, b *sigBuild) {
+	switch spec := spec.(type) {
+	case *ast.ValSpec:
+		scope := el.pushTyvars(nil)
+		ty := el.elabTy(specEnv, spec.Ty)
+		el.popTyvars()
+		vars := scope.Vars()
+		eqFlags := make([]bool, len(vars))
+		for i, v := range vars {
+			eqFlags[i] = v.Eq
+		}
+		scheme := types.SchemeOver(vars, ty, eqFlags)
+		specEnv.DefineVal(spec.Name, &env.ValBind{Scheme: scheme, Slot: b.slots})
+		b.slots++
+
+	case *ast.TypeSpec:
+		if spec.Def != nil {
+			scope := el.pushTyvars(spec.TyVars)
+			body := el.elabTy(specEnv, spec.Def)
+			el.popTyvars()
+			vars := make([]*types.Var, len(spec.TyVars))
+			for i, n := range spec.TyVars {
+				vars[i] = scope.m[n]
+			}
+			tc := &types.Tycon{
+				Stamp: el.sg.Fresh(), Name: spec.Name, Arity: len(spec.TyVars),
+				Kind: types.KindAbbrev, Abbrev: types.MakeTyFun(vars, body),
+			}
+			specEnv.DefineTycon(spec.Name, tc)
+			return
+		}
+		tc := &types.Tycon{
+			Stamp: el.sg.Fresh(), Name: spec.Name, Arity: len(spec.TyVars),
+			Kind: types.KindFormal, Eq: spec.Eq,
+		}
+		specEnv.DefineTycon(spec.Name, tc)
+		b.formals = append(b.formals, tc)
+
+	case *ast.DatatypeSpec:
+		// A datatype spec is elaborated exactly like a datatype
+		// declaration; matching pairs it with an actual datatype.
+		el.elabDatatypeDec(&ast.DatatypeDec{Dbs: spec.Dbs, Pos: spec.Pos}, specEnv)
+
+	case *ast.ExceptionSpec:
+		dc := &types.DataCon{Name: spec.Name, Tycon: basis.ExnTycon, IsExn: true}
+		var scheme *types.Scheme
+		if spec.Ty != nil {
+			dc.HasArg = true
+			argTy := el.elabTy(specEnv, spec.Ty)
+			scheme = types.MonoScheme(&types.Arrow{From: argTy, To: basis.Exn()})
+		} else {
+			scheme = types.MonoScheme(basis.Exn())
+		}
+		dc.Scheme = scheme
+		specEnv.DefineVal(spec.Name, &env.ValBind{Scheme: scheme, Con: dc, Slot: b.slots})
+		b.slots++
+
+	case *ast.StructureSpec:
+		subSig := el.elabSigExp(spec.Sig, specEnv)
+		sub := &env.Structure{
+			Stamp: el.sg.Fresh(), Env: subSig.Env, NumSlots: subSig.NumSlots,
+		}
+		specEnv.DefineStr(spec.Name, &env.StrBind{Str: sub, Slot: b.slots})
+		b.slots++
+		b.formals = append(b.formals, subSig.Formals...)
+
+	case *ast.IncludeSpec:
+		inner := el.elabSigExp(spec.Sig, specEnv)
+		el.includeSig(inner, specEnv, b, spec.Pos)
+
+	case *ast.SharingSpec:
+		el.elabSharing(spec, specEnv, b)
+	}
+}
+
+// elabSharing implements sharing type t1 = t2 = ...: all paths must
+// resolve to formal tycons of this template; the later ones are realized
+// in place as abbreviations of the first.
+func (el *Elaborator) elabSharing(spec *ast.SharingSpec, specEnv *env.Env, b *sigBuild) {
+	if len(spec.Tycons) < 2 {
+		return
+	}
+	first := el.resolveSigTycon(specEnv, spec.Tycons[0])
+	if first == nil {
+		el.fatalf(spec.Pos, "sharing: unbound type %s", spec.Tycons[0])
+	}
+	for _, path := range spec.Tycons[1:] {
+		tc := el.resolveSigTycon(specEnv, path)
+		if tc == nil {
+			el.fatalf(spec.Pos, "sharing: unbound type %s", path)
+		}
+		if tc == first {
+			continue
+		}
+		if tc.Kind != types.KindFormal {
+			el.errorf(spec.Pos, "sharing: %s is not a flexible type", path)
+			continue
+		}
+		if tc.Arity != first.Arity {
+			el.errorf(spec.Pos, "sharing: arity mismatch between %s and %s", spec.Tycons[0], path)
+			continue
+		}
+		bounds := make([]types.Ty, tc.Arity)
+		for i := range bounds {
+			bounds[i] = &types.Bound{Index: i}
+		}
+		tc.Kind = types.KindAbbrev
+		tc.Abbrev = &types.TyFun{Arity: tc.Arity, Body: &types.Con{Tycon: first, Args: bounds}}
+		b.formals = removeTycon(b.formals, tc)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Signature matching
+// ---------------------------------------------------------------------
+
+// matchSig matches an actual structure against a signature template.
+// It returns the thinned (and possibly abstracted) result structure and
+// a coercion building the result's runtime record from the actual's.
+// Transparent matching (opaque=false) propagates the actual types into
+// the result — the behaviour Figure 1 of the paper turns on.
+func (el *Elaborator) matchSig(pos token.Pos, actual *env.Structure, sig *env.Signature,
+	opaque bool) (*env.Structure, func(base lambda.Exp) lambda.Exp) {
+
+	real := types.Realization{}
+	el.buildRealization(pos, sig.Env, actual.Env, real)
+
+	var abs types.Realization
+	if opaque {
+		abs = types.Realization{}
+		for _, f := range sig.Formals {
+			a := &types.Tycon{
+				Stamp: el.sg.Fresh(), Name: f.Name, Arity: f.Arity,
+				Kind: types.KindAbstract, Eq: f.Eq,
+			}
+			bounds := make([]types.Ty, f.Arity)
+			for i := range bounds {
+				bounds[i] = &types.Bound{Index: i}
+			}
+			abs[f.Stamp] = &types.TyFun{Arity: f.Arity, Body: &types.Con{Tycon: a, Args: bounds}}
+		}
+	}
+
+	resEnv, slotExprs := el.matchEnv(pos, sig.Env, actual.Env, real, abs, "")
+	res := &env.Structure{Stamp: el.sg.Fresh(), Env: resEnv, NumSlots: len(slotExprs)}
+
+	coerce := func(base lambda.Exp) lambda.Exp {
+		return el.bindRoot(base, func(r lambda.Exp) lambda.Exp {
+			fields := make([]lambda.Exp, len(slotExprs))
+			for i, f := range slotExprs {
+				fields[i] = f(r)
+			}
+			return &lambda.Record{Fields: fields}
+		})
+	}
+	return res, coerce
+}
+
+// buildRealization fills the realization for every formal and datatype
+// spec tycon of the template, recursing into substructures.
+func (el *Elaborator) buildRealization(pos token.Pos, sigEnv, actEnv *env.Env, real types.Realization) {
+	for _, ent := range sigEnv.Order() {
+		switch ent.NS {
+		case env.NSTycon:
+			spec, _ := sigEnv.LocalTycon(ent.Name)
+			switch spec.Kind {
+			case types.KindFormal, types.KindData:
+				if spec.Kind == types.KindData && spec.Stamp.Origin == basisOrigin() {
+					continue // primitive datatypes (bool, list) pass through
+				}
+				act, ok := actEnv.LocalTycon(ent.Name)
+				if !ok {
+					el.fatalf(pos, "signature mismatch: missing type %s", ent.Name)
+				}
+				if act.Arity != spec.Arity {
+					el.errorf(pos, "signature mismatch: type %s has arity %d, expected %d",
+						ent.Name, act.Arity, spec.Arity)
+					continue
+				}
+				if spec.Eq && !tyconAdmitsEq(act) {
+					el.errorf(pos, "signature mismatch: type %s must admit equality", ent.Name)
+				}
+				bounds := make([]types.Ty, act.Arity)
+				for i := range bounds {
+					bounds[i] = &types.Bound{Index: i}
+				}
+				real[spec.Stamp] = &types.TyFun{
+					Arity: act.Arity, Body: &types.Con{Tycon: act, Args: bounds},
+				}
+			}
+		case env.NSStr:
+			spec, _ := sigEnv.LocalStr(ent.Name)
+			act, ok := actEnv.LocalStr(ent.Name)
+			if !ok {
+				el.fatalf(pos, "signature mismatch: missing structure %s", ent.Name)
+			}
+			el.buildRealization(pos, spec.Str.Env, act.Str.Env, real)
+		}
+	}
+}
+
+// basisOrigin returns the basis pid for primitive-stamp detection.
+func basisOrigin() pid.Pid { return basis.BasisPid }
+
+// tyconAdmitsEq approximates whether a tycon admits equality for eqtype
+// matching.
+func tyconAdmitsEq(tc *types.Tycon) bool {
+	switch tc.Kind {
+	case types.KindAbbrev:
+		return eqAdmissible(tc.Abbrev.Body, nil)
+	default:
+		return tc.Eq || tc.Name == "ref" || tc.Name == "array"
+	}
+}
+
+// matchEnv checks the specs of sigEnv against actEnv and produces the
+// result env and the per-slot coercion expressions.
+func (el *Elaborator) matchEnv(pos token.Pos, sigEnv, actEnv *env.Env,
+	real, abs types.Realization, path string) (*env.Env, []func(lambda.Exp) lambda.Exp) {
+
+	resEnv := env.New(nil)
+	var slots []func(lambda.Exp) lambda.Exp
+
+	// resultScheme picks the exported scheme: transparent (realized to
+	// actuals) or opaque (realized to abstract tycons).
+	resultScheme := func(s *types.Scheme) *types.Scheme {
+		out := real.ApplyScheme(s)
+		if abs != nil {
+			// Opaque: re-realize the spec against abstract tycons.
+			out = abs.ApplyScheme(s)
+			// Formals not covered by abs (fixed by where type) still
+			// need the actual realization.
+			out = real.ApplyScheme(out)
+		}
+		return out
+	}
+
+	for _, ent := range sigEnv.Order() {
+		name := path + ent.Name
+		switch ent.NS {
+		case env.NSTycon:
+			spec, _ := sigEnv.LocalTycon(ent.Name)
+			switch spec.Kind {
+			case types.KindFormal:
+				act, ok := actEnv.LocalTycon(ent.Name)
+				if !ok {
+					continue // already reported
+				}
+				if abs != nil {
+					if f, isAbs := abs[spec.Stamp]; isAbs {
+						resEnv.DefineTycon(ent.Name, tyfunHead(f))
+						continue
+					}
+				}
+				resEnv.DefineTycon(ent.Name, act)
+			case types.KindData:
+				if spec.Stamp.Origin == basisOrigin() {
+					resEnv.DefineTycon(ent.Name, spec)
+					continue
+				}
+				act, ok := actEnv.LocalTycon(ent.Name)
+				if !ok {
+					continue
+				}
+				el.matchDatatype(pos, name, spec, act, real)
+				resEnv.DefineTycon(ent.Name, act)
+			case types.KindAbbrev:
+				// Transparent type spec: the actual must agree if present;
+				// the spec may also be purely definitional (no actual
+				// required when it merely abbreviates).
+				if act, ok := actEnv.LocalTycon(ent.Name); ok {
+					el.checkTyconAgree(pos, name, spec, act, real)
+					resEnv.DefineTycon(ent.Name, act)
+				} else {
+					el.errorf(pos, "signature mismatch: missing type %s", name)
+				}
+			default:
+				resEnv.DefineTycon(ent.Name, spec)
+			}
+
+		case env.NSVal:
+			spec, _ := sigEnv.LocalVal(ent.Name)
+			act, ok := actEnv.LocalVal(ent.Name)
+			if !ok {
+				el.errorf(pos, "signature mismatch: missing value %s", name)
+				continue
+			}
+			specScheme := real.ApplyScheme(spec.Scheme)
+			if !el.schemeMatches(act.Scheme, specScheme) {
+				el.errorf(pos, "signature mismatch: value %s has type %s, spec requires %s",
+					name, types.SchemeString(act.Scheme), types.SchemeString(specScheme))
+				continue
+			}
+			if spec.Slot < 0 {
+				// Constructor from a datatype spec: carried via the tycon.
+				resEnv.DefineVal(ent.Name, &env.ValBind{
+					Scheme: resultScheme(spec.Scheme), Con: act.Con, Slot: -1, Prim: act.Prim,
+				})
+				continue
+			}
+			exnSpec := spec.Con != nil && spec.Con.IsExn
+			if exnSpec && !act.IsExnCon() {
+				el.errorf(pos, "signature mismatch: %s must be an exception constructor", name)
+				continue
+			}
+			nvb := &env.ValBind{Scheme: resultScheme(spec.Scheme), Slot: len(slots)}
+			if exnSpec {
+				nvb.Con = act.Con
+			}
+			resEnv.DefineVal(ent.Name, nvb)
+			slots = append(slots, el.valCoercion(pos, act, exnSpec))
+
+		case env.NSStr:
+			spec, _ := sigEnv.LocalStr(ent.Name)
+			act, ok := actEnv.LocalStr(ent.Name)
+			if !ok {
+				continue // reported in buildRealization
+			}
+			subEnv, subSlots := el.matchEnv(pos, spec.Str.Env, act.Str.Env, real, abs, name+".")
+			sub := &env.Structure{
+				Stamp: el.sg.Fresh(), Env: subEnv, NumSlots: len(subSlots),
+			}
+			nsb := &env.StrBind{Str: sub, Slot: len(slots)}
+			resEnv.DefineStr(ent.Name, nsb)
+			actSlot := act.Slot
+			slots = append(slots, func(base lambda.Exp) lambda.Exp {
+				return el.bindRoot(&lambda.Select{Idx: actSlot, Rec: base},
+					func(r lambda.Exp) lambda.Exp {
+						fields := make([]lambda.Exp, len(subSlots))
+						for i, f := range subSlots {
+							fields[i] = f(r)
+						}
+						return &lambda.Record{Fields: fields}
+					})
+			})
+		}
+	}
+	return resEnv, slots
+}
+
+// tyfunHead extracts the head tycon of a simple realization tyfun.
+func tyfunHead(f *types.TyFun) *types.Tycon {
+	if c, ok := f.Body.(*types.Con); ok {
+		return c.Tycon
+	}
+	return nil
+}
+
+// valCoercion builds the slot expression delivering an actual value
+// binding under a val (or exception) spec.
+func (el *Elaborator) valCoercion(pos token.Pos, act *env.ValBind, exnSpec bool) func(lambda.Exp) lambda.Exp {
+	switch {
+	case act.IsExnCon():
+		// The slot carries the tag when the spec is an exception spec;
+		// under a plain val spec it carries the packet/injection value.
+		tagOf := func(base lambda.Exp) lambda.Exp {
+			if len(act.Prim) > 4 && act.Prim[:4] == "exn:" {
+				return &lambda.Builtin{Name: act.Prim[4:]}
+			}
+			return &lambda.Select{Idx: act.Slot, Rec: base}
+		}
+		if exnSpec {
+			return tagOf
+		}
+		if act.Con.HasArg {
+			return func(base lambda.Exp) lambda.Exp {
+				p := el.lg.Fresh()
+				return &lambda.Fn{Param: p, Body: &lambda.ExnCon{Tag: tagOf(base), Arg: &lambda.Var{LV: p}}}
+			}
+		}
+		return func(base lambda.Exp) lambda.Exp {
+			return &lambda.ExnCon{Tag: tagOf(base)}
+		}
+	case act.Con != nil:
+		dc := act.Con
+		return func(base lambda.Exp) lambda.Exp {
+			if dc.HasArg {
+				p := el.lg.Fresh()
+				return &lambda.Fn{Param: p, Body: &lambda.Con{Tag: dc.Tag, Name: dc.Name, Arg: &lambda.Var{LV: p}}}
+			}
+			return &lambda.Con{Tag: dc.Tag, Name: dc.Name}
+		}
+	case act.Prim != "":
+		op := act.Prim
+		return func(base lambda.Exp) lambda.Exp { return el.primExp(op) }
+	default:
+		slot := act.Slot
+		if slot < 0 {
+			el.fatalf(pos, "internal: matched value has no slot")
+		}
+		return func(base lambda.Exp) lambda.Exp {
+			return &lambda.Select{Idx: slot, Rec: base}
+		}
+	}
+}
+
+// matchDatatype checks that an actual tycon implements a datatype spec:
+// same arity, same constructor names with equal types under the
+// realization.
+func (el *Elaborator) matchDatatype(pos token.Pos, name string, spec, act *types.Tycon, real types.Realization) {
+	if act.Kind != types.KindData {
+		el.errorf(pos, "signature mismatch: %s must be a datatype", name)
+		return
+	}
+	if len(spec.Cons) != len(act.Cons) {
+		el.errorf(pos, "signature mismatch: datatype %s has %d constructors, spec has %d",
+			name, len(act.Cons), len(spec.Cons))
+		return
+	}
+	for i, sc := range spec.Cons {
+		ac := act.Cons[i]
+		if sc.Name != ac.Name {
+			el.errorf(pos, "signature mismatch: datatype %s constructor %q vs spec %q",
+				name, ac.Name, sc.Name)
+			return
+		}
+		specBody := real.Apply(sc.Scheme.Body)
+		if !types.Equal(specBody, ac.Scheme.Body) {
+			el.errorf(pos, "signature mismatch: constructor %s.%s has type %s, spec requires %s",
+				name, sc.Name, types.SchemeString(ac.Scheme),
+				types.SchemeString(&types.Scheme{Arity: sc.Scheme.Arity, Body: specBody}))
+		}
+	}
+}
+
+// checkTyconAgree verifies a transparent type spec against the actual.
+func (el *Elaborator) checkTyconAgree(pos token.Pos, name string, spec, act *types.Tycon, real types.Realization) {
+	if spec.Arity != act.Arity {
+		el.errorf(pos, "signature mismatch: type %s arity", name)
+		return
+	}
+	args := make([]types.Ty, spec.Arity)
+	for i := range args {
+		args[i] = types.NewVar(el.level)
+	}
+	specTy := real.Apply(types.ApplyTyFun(spec.Abbrev, args))
+	actTy := types.Ty(&types.Con{Tycon: act, Args: args})
+	if !types.Equal(specTy, actTy) {
+		el.errorf(pos, "signature mismatch: type %s = %s does not agree with the structure's %s",
+			name, types.TyString(specTy), types.TyString(actTy))
+	}
+}
+
+// schemeMatches reports whether the actual scheme is at least as
+// general as the spec: the spec's bound variables become skolem
+// constants, the actual's become fresh unification variables, and the
+// two must unify.
+func (el *Elaborator) schemeMatches(act, spec *types.Scheme) bool {
+	skolems := make([]types.Ty, spec.Arity)
+	for i := range skolems {
+		eq := i < len(spec.EqFlags) && spec.EqFlags[i]
+		sk := &types.Tycon{
+			Stamp: el.sg.Fresh(), Name: "?skolem", Kind: types.KindAbstract, Eq: eq,
+		}
+		skolems[i] = &types.Con{Tycon: sk}
+	}
+	specTy := types.InstantiateWith(spec, skolems)
+	actTy := types.Instantiate(act, el.level+1)
+	return types.Unify(actTy, specTy) == nil
+}
+
+// ---------------------------------------------------------------------
+// Functors
+// ---------------------------------------------------------------------
+
+// elabFunctorDec declares functors: the bodies are retained as AST with
+// a closure trimmed to their free identifiers, and elaborated once
+// against a formal instance of the parameter signature for
+// definition-time checking.
+func (el *Elaborator) elabFunctorDec(d *ast.FunctorDec, e *env.Env) {
+	for i := range d.Fbs {
+		fb := &d.Fbs[i]
+		free := FreeOfFunctor(fb)
+		closure := el.trimEnv(e, free)
+
+		fct := &env.Functor{
+			Stamp: el.sg.Fresh(), Name: fb.Name, ParamName: fb.ParamName,
+			ParamSig: fb.ParamSig, ResultSig: fb.ResultSig, Opaque: fb.Opaque,
+			Body: fb.Body, Closure: closure,
+		}
+
+		// Definition-time check against a formal parameter instance.
+		el.checkFunctorBody(fct, d.Pos)
+
+		e.DefineFct(fb.Name, &env.FctBind{Fct: fct})
+	}
+}
+
+// checkFunctorBody elaborates the functor body against a formal
+// instantiation of its parameter signature, discarding everything but
+// errors. Import and pending-select state is snapshotted so the check
+// cannot perturb the real compilation.
+func (el *Elaborator) checkFunctorBody(fct *env.Functor, pos token.Pos) {
+	savedPids := append([]pid.Pid(nil), el.importPids...)
+	savedSlots := make(map[pid.Pid]int, len(el.importSlots))
+	for k, v := range el.importSlots {
+		savedSlots[k] = v
+	}
+	savedPending := el.pendingSelects
+
+	paramSig := el.elabSigExp(fct.ParamSig, fct.Closure)
+	formal := &env.Structure{
+		Stamp: el.sg.Fresh(), Env: paramSig.Env, NumSlots: paramSig.NumSlots,
+	}
+	bodyEnv := env.New(fct.Closure)
+	pv := el.lg.Fresh()
+	psb := &env.StrBind{Str: formal, Slot: -1}
+	el.registerAccess(psb, &lambda.Var{LV: pv})
+	bodyEnv.DefineStr(fct.ParamName, psb)
+
+	bodyStr, _ := el.elabStrExp(fct.Body, bodyEnv)
+	if fct.ResultSig != nil {
+		resSig := el.elabSigExp(fct.ResultSig, bodyEnv)
+		el.matchSig(pos, bodyStr, resSig, fct.Opaque)
+	}
+
+	el.importPids = savedPids
+	el.importSlots = savedSlots
+	el.pendingSelects = savedPending
+}
+
+// trimEnv builds a flat closure environment containing exactly the free
+// identifiers that resolve in e.
+func (el *Elaborator) trimEnv(e *env.Env, free *FreeIDs) *env.Env {
+	out := env.New(nil)
+	for _, n := range free.ValOrder {
+		if vb, ok := e.LookupVal(n); ok {
+			out.DefineVal(n, vb)
+		}
+	}
+	for _, n := range free.TyconOrder {
+		if tc, ok := e.LookupTycon(n); ok {
+			out.DefineTycon(n, tc)
+		}
+	}
+	for _, n := range free.StrOrder {
+		if sb, ok := e.LookupStr(n); ok {
+			out.DefineStr(n, sb)
+		}
+	}
+	for _, n := range free.SigOrder {
+		if sb, ok := e.LookupSig(n); ok {
+			out.DefineSig(n, sb)
+		}
+	}
+	for _, n := range free.FctOrder {
+		if fb, ok := e.LookupFct(n); ok {
+			out.DefineFct(n, fb)
+		}
+	}
+	return out
+}
+
+// elabFunctorApp applies a functor: the argument is matched against the
+// parameter signature and the body is re-elaborated with the matched
+// parameter bound — generating fresh code and fresh generative stamps
+// per application.
+func (el *Elaborator) elabFunctorApp(se *ast.AppStrExp, e *env.Env) (*env.Structure, lambda.Exp) {
+	fb, ok := e.LookupFct(se.Functor)
+	if !ok {
+		el.fatalf(se.Pos, "unbound functor %s", se.Functor)
+	}
+	fct := fb.Fct
+
+	if el.fctDepth > 64 {
+		el.fatalf(se.Pos, "functor application nesting exceeds 64 (recursive functor?)")
+	}
+	el.fctDepth++
+	defer func() { el.fctDepth-- }()
+
+	argStr, argCode := el.elabStrExp(se.Arg, e)
+
+	paramSig := el.elabSigExp(fct.ParamSig, fct.Closure)
+	matched, coerce := el.matchSig(se.Pos, argStr, paramSig, false)
+
+	bodyEnv := env.New(fct.Closure)
+	pv := el.lg.Fresh()
+	psb := &env.StrBind{Str: matched, Slot: -1}
+	el.registerAccess(psb, &lambda.Var{LV: pv})
+	bodyEnv.DefineStr(fct.ParamName, psb)
+
+	bodyStr, bodyCode := el.elabStrExp(fct.Body, bodyEnv)
+
+	var resStr *env.Structure = bodyStr
+	resCode := bodyCode
+	if fct.ResultSig != nil {
+		resSig := el.elabSigExp(fct.ResultSig, bodyEnv)
+		matchedRes, resCoerce := el.matchSig(se.Pos, bodyStr, resSig, fct.Opaque)
+		resStr = matchedRes
+		lv := el.lg.Fresh()
+		resCode = &lambda.Let{LV: lv, Bind: bodyCode, Body: resCoerce(&lambda.Var{LV: lv})}
+	}
+
+	argLV := el.lg.Fresh()
+	code := &lambda.Let{
+		LV: argLV, Bind: argCode,
+		Body: &lambda.Let{LV: pv, Bind: coerce(&lambda.Var{LV: argLV}), Body: resCode},
+	}
+	return resStr, code
+}

@@ -1,0 +1,141 @@
+package env
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func vb() *ValBind { return &ValBind{Scheme: types.MonoScheme(types.Unit()), Slot: -1} }
+
+func TestDefineLookup(t *testing.T) {
+	e := New(nil)
+	b := vb()
+	e.DefineVal("x", b)
+	got, ok := e.LookupVal("x")
+	if !ok || got != b {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := e.LookupVal("y"); ok {
+		t.Fatal("phantom binding")
+	}
+}
+
+func TestLayering(t *testing.T) {
+	parent := New(nil)
+	pb := vb()
+	parent.DefineVal("x", pb)
+	parent.DefineVal("y", vb())
+
+	child := New(parent)
+	cb := vb()
+	child.DefineVal("x", cb)
+
+	if got, _ := child.LookupVal("x"); got != cb {
+		t.Error("child does not shadow parent")
+	}
+	if got, _ := child.LookupVal("y"); got == nil {
+		t.Error("parent binding not visible")
+	}
+	if got, _ := parent.LookupVal("x"); got != pb {
+		t.Error("parent perturbed by child")
+	}
+	// Local lookup must not search parents.
+	if _, ok := child.LocalVal("y"); ok {
+		t.Error("LocalVal searched parent")
+	}
+}
+
+func TestOrderPreserved(t *testing.T) {
+	e := New(nil)
+	e.DefineVal("a", vb())
+	e.DefineTycon("t", &types.Tycon{Name: "t"})
+	e.DefineVal("b", vb())
+	e.DefineStr("S", &StrBind{Str: &Structure{Env: New(nil)}})
+
+	order := e.Order()
+	want := []Entry{{NSVal, "a"}, {NSTycon, "t"}, {NSVal, "b"}, {NSStr, "S"}}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestShadowingCollapsesOrder(t *testing.T) {
+	e := New(nil)
+	e.DefineVal("x", vb())
+	second := vb()
+	e.DefineVal("x", second)
+	if len(e.Order()) != 1 {
+		t.Errorf("order has %d entries, want 1", len(e.Order()))
+	}
+	if got, _ := e.LocalVal("x"); got != second {
+		t.Error("shadowing did not replace binding")
+	}
+}
+
+func TestNamespacesIndependent(t *testing.T) {
+	e := New(nil)
+	e.DefineVal("x", vb())
+	e.DefineTycon("x", &types.Tycon{Name: "x"})
+	e.DefineStr("x", &StrBind{})
+	e.DefineSig("x", &SigBind{Name: "x"})
+	e.DefineFct("x", &FctBind{})
+	if e.Len() != 5 {
+		t.Errorf("len = %d, want 5 (one per namespace)", e.Len())
+	}
+	if _, ok := e.LookupTycon("x"); !ok {
+		t.Error("tycon x lost")
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	src := New(nil)
+	src.DefineVal("a", vb())
+	src.DefineVal("b", vb())
+	src.DefineTycon("t", &types.Tycon{Name: "t"})
+
+	dst := New(nil)
+	dst.DefineVal("pre", vb())
+	src.CopyInto(dst)
+	if dst.Len() != 4 {
+		t.Errorf("dst len %d", dst.Len())
+	}
+	a1, _ := src.LocalVal("a")
+	a2, _ := dst.LocalVal("a")
+	if a1 != a2 {
+		t.Error("CopyInto copied values instead of sharing bindings")
+	}
+}
+
+func TestDeepLayering(t *testing.T) {
+	e := New(nil)
+	bottom := vb()
+	e.DefineVal("deep", bottom)
+	for i := 0; i < 100; i++ {
+		e = New(e)
+	}
+	got, ok := e.LookupVal("deep")
+	if !ok || got != bottom {
+		t.Error("deep chain lookup failed")
+	}
+}
+
+func TestIsExnCon(t *testing.T) {
+	plain := vb()
+	if plain.IsExnCon() {
+		t.Error("plain value is exn con")
+	}
+	exn := &ValBind{Con: &types.DataCon{IsExn: true}}
+	if !exn.IsExnCon() {
+		t.Error("exn con not recognized")
+	}
+	data := &ValBind{Con: &types.DataCon{}}
+	if data.IsExnCon() {
+		t.Error("data con is exn con")
+	}
+}

@@ -1,0 +1,490 @@
+// Package lexer implements a scanner for the Standard ML subset.
+//
+// It handles nested (* ... *) comments, SML's ~ negation sign on numeric
+// literals, word literals (0w..., 0wx...), real literals with e/E
+// exponents, character literals #"c", string literals with the SML escape
+// sequences, alphanumeric identifiers (including primed forms like x'),
+// symbolic identifiers built from !%&$#+-/:<=>?@\~`^|*, and type
+// variables 'a, ”a.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an SML source text into tokens.
+type Lexer struct {
+	src    string
+	off    int // current byte offset
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (lx *Lexer) Errors() []*Error { return lx.errors }
+
+func (lx *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	lx.errors = append(lx.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) pos() token.Pos {
+	return token.Pos{Offset: lx.off, Line: lx.line, Col: lx.col}
+}
+
+// peek returns the current byte without consuming it, or 0 at EOF.
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+// peekAt returns the byte n positions ahead, or 0 past EOF.
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+// advance consumes one byte, maintaining line/column accounting.
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+func isAlpha(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isAlpha(c) || isDigit(c) || c == '\'' || c == '_'
+}
+
+// isSymbolic reports whether c may appear in a symbolic identifier.
+func isSymbolic(c byte) bool {
+	return strings.IndexByte("!%&$#+-/:<=>?@\\~`^|*", c) >= 0
+}
+
+// skipSpaceAndComments consumes whitespace and (possibly nested)
+// comments. It reports an unterminated comment as an error.
+func (lx *Lexer) skipSpaceAndComments() {
+	for {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+			lx.advance()
+		case c == '(' && lx.peekAt(1) == '*':
+			start := lx.pos()
+			lx.advance() // (
+			lx.advance() // *
+			depth := 1
+			for depth > 0 {
+				if lx.off >= len(lx.src) {
+					lx.errorf(start, "unterminated comment")
+					return
+				}
+				c := lx.advance()
+				if c == '(' && lx.peek() == '*' {
+					lx.advance()
+					depth++
+				} else if c == '*' && lx.peek() == ')' {
+					lx.advance()
+					depth--
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (lx *Lexer) Next() token.Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		return lx.scanNumber(pos, false)
+	case c == '~' && isDigit(lx.peekAt(1)):
+		lx.advance()
+		return lx.scanNumber(pos, true)
+	case c == '\'':
+		return lx.scanTyvar(pos)
+	case isAlpha(c):
+		return lx.scanIdent(pos)
+	case c == '_':
+		// An underscore beginning an identifier continuation is still the
+		// wildcard: SML identifiers cannot start with _.
+		lx.advance()
+		return token.Token{Kind: token.UNDERBAR, Text: "_", Pos: pos}
+	case c == '"':
+		return lx.scanString(pos)
+	case c == '#' && lx.peekAt(1) == '"':
+		return lx.scanChar(pos)
+	case isSymbolic(c):
+		return lx.scanSymbolic(pos)
+	}
+	switch c {
+	case '(':
+		lx.advance()
+		return token.Token{Kind: token.LPAREN, Text: "(", Pos: pos}
+	case ')':
+		lx.advance()
+		return token.Token{Kind: token.RPAREN, Text: ")", Pos: pos}
+	case '[':
+		lx.advance()
+		return token.Token{Kind: token.LBRACKET, Text: "[", Pos: pos}
+	case ']':
+		lx.advance()
+		return token.Token{Kind: token.RBRACKET, Text: "]", Pos: pos}
+	case '{':
+		lx.advance()
+		return token.Token{Kind: token.LBRACE, Text: "{", Pos: pos}
+	case '}':
+		lx.advance()
+		return token.Token{Kind: token.RBRACE, Text: "}", Pos: pos}
+	case ',':
+		lx.advance()
+		return token.Token{Kind: token.COMMA, Text: ",", Pos: pos}
+	case ';':
+		lx.advance()
+		return token.Token{Kind: token.SEMI, Text: ";", Pos: pos}
+	case '.':
+		if lx.peekAt(1) == '.' && lx.peekAt(2) == '.' {
+			lx.advance()
+			lx.advance()
+			lx.advance()
+			return token.Token{Kind: token.DOTDOTDOT, Text: "...", Pos: pos}
+		}
+		lx.advance()
+		lx.errorf(pos, "unexpected '.'")
+		return token.Token{Kind: token.ERROR, Text: ".", Pos: pos}
+	}
+	lx.advance()
+	lx.errorf(pos, "illegal character %q", string(rune(c)))
+	return token.Token{Kind: token.ERROR, Text: string(rune(c)), Pos: pos}
+}
+
+// scanIdent scans an alphanumeric identifier or reserved word. A
+// trailing qualified access (Struct.x) is handled by the parser via DOT
+// splitting; here we scan single path components, so '.' terminates the
+// identifier and is delivered as part of a longid by the parser calling
+// NextPathComponent. To keep the token stream simple we instead scan
+// dotted paths into a single IDENT token whose Text contains dots.
+func (lx *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	kind := token.Lookup(text)
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Text: text, Pos: pos}
+	}
+	// Long identifier: Structure.path.component — each component must be
+	// alphanumeric except the last, which may be symbolic (e.g. Int.+).
+	for lx.peek() == '.' {
+		next := lx.peekAt(1)
+		if !isAlpha(next) && !isSymbolic(next) {
+			break
+		}
+		lx.advance() // '.'
+		text += "."
+		if isAlpha(next) {
+			compStart := lx.off
+			for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+				lx.advance()
+			}
+			comp := lx.src[compStart:lx.off]
+			if token.Lookup(comp) != token.IDENT {
+				lx.errorf(pos, "reserved word %q used as path component", comp)
+			}
+			text += comp
+		} else {
+			compStart := lx.off
+			for lx.off < len(lx.src) && isSymbolic(lx.peek()) {
+				lx.advance()
+			}
+			text += lx.src[compStart:lx.off]
+			return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+		}
+	}
+	return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+}
+
+// scanSymbolic scans a symbolic identifier or reserved symbol.
+func (lx *Lexer) scanSymbolic(pos token.Pos) token.Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isSymbolic(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if text == "*" {
+		return token.Token{Kind: token.ASTERISK, Text: text, Pos: pos}
+	}
+	return token.Token{Kind: token.LookupSym(text), Text: text, Pos: pos}
+}
+
+// scanTyvar scans a type variable: 'a, ”a, 'abc.
+func (lx *Lexer) scanTyvar(pos token.Pos) token.Token {
+	start := lx.off
+	lx.advance() // first '
+	for lx.peek() == '\'' {
+		lx.advance()
+	}
+	if !isAlpha(lx.peek()) && !isDigit(lx.peek()) && lx.peek() != '_' {
+		lx.errorf(pos, "malformed type variable")
+		return token.Token{Kind: token.ERROR, Text: lx.src[start:lx.off], Pos: pos}
+	}
+	for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+		lx.advance()
+	}
+	return token.Token{Kind: token.TYVAR, Text: lx.src[start:lx.off], Pos: pos}
+}
+
+// scanNumber scans integer, word, and real literals. neg records a
+// leading ~ already consumed. Word literals (0w...) may not be negative.
+func (lx *Lexer) scanNumber(pos token.Pos, neg bool) token.Token {
+	start := lx.off
+	kind := token.INT
+
+	if lx.peek() == '0' && (lx.peekAt(1) == 'w' || lx.peekAt(1) == 'x') {
+		if lx.peekAt(1) == 'x' {
+			lx.advance()
+			lx.advance()
+			if !isHexDigit(lx.peek()) {
+				lx.errorf(pos, "malformed hexadecimal literal")
+			}
+			for isHexDigit(lx.peek()) {
+				lx.advance()
+			}
+			return lx.numTok(token.INT, pos, start, neg)
+		}
+		// 0w or 0wx word literal.
+		lx.advance() // 0
+		lx.advance() // w
+		if lx.peek() == 'x' {
+			lx.advance()
+			if !isHexDigit(lx.peek()) {
+				lx.errorf(pos, "malformed word literal")
+			}
+			for isHexDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			if !isDigit(lx.peek()) {
+				lx.errorf(pos, "malformed word literal")
+			}
+			for isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if neg {
+			lx.errorf(pos, "negative word literal")
+		}
+		return lx.numTok(token.WORD, pos, start, false)
+	}
+
+	for isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && isDigit(lx.peekAt(1)) {
+		kind = token.REAL
+		lx.advance()
+		for isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		// Exponent part: e digits, e~digits.
+		save := lx.off
+		lx.advance()
+		if lx.peek() == '~' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			kind = token.REAL
+			for isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "3elem" lexes as 3, elem).
+			lx.rewind(save)
+		}
+	}
+	return lx.numTok(kind, pos, start, neg)
+}
+
+// rewind resets the scan position to a previously saved offset. Only
+// valid within a single line region (no newlines between), which holds
+// for the number-scanning backtrack that uses it.
+func (lx *Lexer) rewind(off int) {
+	lx.col -= lx.off - off
+	lx.off = off
+}
+
+func (lx *Lexer) numTok(kind token.Kind, pos token.Pos, start int, neg bool) token.Token {
+	text := lx.src[start:lx.off]
+	if neg {
+		text = "~" + text
+	}
+	return token.Token{Kind: kind, Text: text, Pos: pos}
+}
+
+// scanString scans a string literal, decoding SML escapes: \n \t \r \a
+// \b \f \v \\ \" \ddd \uxxxx and the \f...f\ line-continuation gap.
+// The returned token Text is the decoded contents (without quotes).
+func (lx *Lexer) scanString(pos token.Pos) token.Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			lx.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ERROR, Text: sb.String(), Pos: pos}
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return token.Token{Kind: token.STRING, Text: sb.String(), Pos: pos}
+		case '\n':
+			lx.errorf(pos, "newline in string literal")
+			return token.Token{Kind: token.ERROR, Text: sb.String(), Pos: pos}
+		case '\\':
+			lx.scanEscape(pos, &sb)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// scanEscape decodes one escape sequence following a backslash.
+func (lx *Lexer) scanEscape(pos token.Pos, sb *strings.Builder) {
+	if lx.off >= len(lx.src) {
+		lx.errorf(pos, "unterminated escape sequence")
+		return
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		sb.WriteByte('\n')
+	case 't':
+		sb.WriteByte('\t')
+	case 'r':
+		sb.WriteByte('\r')
+	case 'a':
+		sb.WriteByte(7)
+	case 'b':
+		sb.WriteByte(8)
+	case 'f':
+		sb.WriteByte(12)
+	case 'v':
+		sb.WriteByte(11)
+	case '\\':
+		sb.WriteByte('\\')
+	case '"':
+		sb.WriteByte('"')
+	case '^':
+		if lx.off >= len(lx.src) {
+			lx.errorf(pos, "unterminated control escape")
+			return
+		}
+		d := lx.advance()
+		sb.WriteByte(d & 0x1f)
+	case ' ', '\t', '\n', '\r', '\f':
+		// Gap: \ whitespace* \ — skip to the closing backslash.
+		for lx.off < len(lx.src) {
+			d := lx.peek()
+			if d == ' ' || d == '\t' || d == '\n' || d == '\r' || d == '\f' {
+				lx.advance()
+				continue
+			}
+			break
+		}
+		if lx.peek() != '\\' {
+			lx.errorf(pos, "malformed string gap")
+			return
+		}
+		lx.advance()
+	default:
+		if isDigit(c) {
+			// \ddd decimal escape.
+			if lx.off+1 < len(lx.src) && isDigit(lx.peek()) && isDigit(lx.peekAt(1)) {
+				d1 := lx.advance()
+				d2 := lx.advance()
+				n := int(c-'0')*100 + int(d1-'0')*10 + int(d2-'0')
+				if n > 255 {
+					lx.errorf(pos, "escape \\%c%c%c out of range", c, d1, d2)
+					return
+				}
+				sb.WriteByte(byte(n))
+				return
+			}
+			lx.errorf(pos, "malformed decimal escape")
+			return
+		}
+		lx.errorf(pos, "unknown escape \\%c", c)
+	}
+}
+
+// scanChar scans a character literal #"c" including escapes; the token
+// Text is the decoded single character.
+func (lx *Lexer) scanChar(pos token.Pos) token.Token {
+	lx.advance() // '#'
+	strTok := lx.scanString(pos)
+	if strTok.Kind == token.ERROR {
+		return strTok
+	}
+	if len(strTok.Text) != 1 {
+		lx.errorf(pos, "character literal must contain exactly one character")
+		return token.Token{Kind: token.ERROR, Text: strTok.Text, Pos: pos}
+	}
+	return token.Token{Kind: token.CHAR, Text: strTok.Text, Pos: pos}
+}
+
+// All scans every token in the source, returning them with a trailing
+// EOF token. Useful for tests and the dependency analyzer.
+func (lx *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+// kinds scans src and returns the token kinds (without EOF).
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	lx := New(src)
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		t.Fatalf("lex %q: %v", src, lx.Errors()[0])
+	}
+	out := make([]token.Kind, 0, len(toks)-1)
+	for _, tok := range toks[:len(toks)-1] {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+// texts scans src and returns the token texts (without EOF).
+func texts(t *testing.T, src string) []string {
+	t.Helper()
+	lx := New(src)
+	toks := lx.All()
+	out := make([]string, 0, len(toks)-1)
+	for _, tok := range toks[:len(toks)-1] {
+		out = append(out, tok.Text)
+	}
+	return out
+}
+
+func eqKinds(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "val x = fn y => y")
+	want := []token.Kind{token.VAL, token.IDENT, token.EQUALS, token.FN,
+		token.IDENT, token.DARROW, token.IDENT}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestModuleKeywords(t *testing.T) {
+	got := kinds(t, "structure signature functor sig struct end where eqtype include sharing")
+	want := []token.Kind{token.STRUCTURE, token.SIGNATURE, token.FUNCTOR,
+		token.SIG, token.STRUCT, token.END, token.WHERE, token.EQTYPE,
+		token.INCLUDE, token.SHARING}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"~7":     "~7",
+		"0":      "0",
+		"0x1F":   "0x1F",
+		"~0xff":  "~0xff",
+		"123456": "123456",
+	}
+	for src, want := range cases {
+		lx := New(src)
+		tok := lx.Next()
+		if tok.Kind != token.INT || tok.Text != want {
+			t.Errorf("lex %q = %v %q, want INT %q", src, tok.Kind, tok.Text, want)
+		}
+	}
+}
+
+func TestWordLiterals(t *testing.T) {
+	for _, src := range []string{"0w0", "0w255", "0wxff", "0wxDEAD"} {
+		lx := New(src)
+		tok := lx.Next()
+		if tok.Kind != token.WORD {
+			t.Errorf("lex %q = %v, want WORD", src, tok.Kind)
+		}
+		if len(lx.Errors()) > 0 {
+			t.Errorf("lex %q: %v", src, lx.Errors()[0])
+		}
+	}
+}
+
+func TestRealLiterals(t *testing.T) {
+	for _, src := range []string{"3.14", "1e9", "2.5e~3", "~0.5", "1E2"} {
+		lx := New(src)
+		tok := lx.Next()
+		if tok.Kind != token.REAL {
+			t.Errorf("lex %q = %v %q, want REAL", src, tok.Kind, tok.Text)
+		}
+	}
+}
+
+func TestNumberFollowedByIdent(t *testing.T) {
+	// "3elem" must lex as 3 then elem: the exponent backtrack.
+	got := kinds(t, "3elem")
+	want := []token.Kind{token.INT, token.IDENT}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:          "hello",
+		`"a\nb"`:           "a\nb",
+		`"tab\tend"`:       "tab\tend",
+		`"q\"q"`:           `q"q`,
+		`"\092"`:           "\\",
+		`"back\\slash"`:    "back\\slash",
+		`"ctrl\^A"`:        "ctrl\x01",
+		"\"gap\\ \n \\x\"": "gapx",
+	}
+	for src, want := range cases {
+		lx := New(src)
+		tok := lx.Next()
+		if tok.Kind != token.STRING || tok.Text != want {
+			t.Errorf("lex %s = %v %q, want STRING %q", src, tok.Kind, tok.Text, want)
+		}
+		if len(lx.Errors()) > 0 {
+			t.Errorf("lex %s: %v", src, lx.Errors()[0])
+		}
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	lx := New(`#"a"`)
+	tok := lx.Next()
+	if tok.Kind != token.CHAR || tok.Text != "a" {
+		t.Errorf("got %v %q", tok.Kind, tok.Text)
+	}
+	lx = New(`#"ab"`)
+	lx.Next()
+	if len(lx.Errors()) == 0 {
+		t.Error("two-character char literal not rejected")
+	}
+}
+
+func TestSymbolicIdentifiers(t *testing.T) {
+	got := texts(t, "a + b >= c ++ d")
+	want := []string{"a", "+", "b", ">=", "c", "++", "d"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReservedSymbols(t *testing.T) {
+	got := kinds(t, ": :> | = => -> #")
+	want := []token.Kind{token.COLON, token.COLONGT, token.BAR, token.EQUALS,
+		token.DARROW, token.ARROW, token.HASH}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestLongSymbolicNotReserved(t *testing.T) {
+	// "==" and "=>>" are ordinary symbolic identifiers.
+	got := kinds(t, "== =>>")
+	want := []token.Kind{token.SYMID, token.SYMID}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestNestedComments(t *testing.T) {
+	got := kinds(t, "a (* outer (* inner *) still outer *) b")
+	want := []token.Kind{token.IDENT, token.IDENT}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	lx := New("a (* never closed")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Error("unterminated comment not reported")
+	}
+}
+
+func TestTyvars(t *testing.T) {
+	got := kinds(t, "'a ''eq 'abc")
+	want := []token.Kind{token.TYVAR, token.TYVAR, token.TYVAR}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	ts := texts(t, "'a ''eq")
+	if ts[0] != "'a" || ts[1] != "''eq" {
+		t.Errorf("tyvar texts %v", ts)
+	}
+}
+
+func TestLongIdentifiers(t *testing.T) {
+	ts := texts(t, "A.B.x List.map Word.<< x.y")
+	want := []string{"A.B.x", "List.map", "Word.<<", "x.y"}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("longid %d = %q want %q", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("val x =\n  5")
+	var toks []token.Token
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, tok)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("val at %v", toks[0].Pos)
+	}
+	five := toks[len(toks)-1]
+	if five.Pos.Line != 2 || five.Pos.Col != 3 {
+		t.Errorf("5 at %v, want 2:3", five.Pos)
+	}
+}
+
+func TestDotsAndWildcard(t *testing.T) {
+	got := kinds(t, "{a = _, ...}")
+	want := []token.Kind{token.LBRACE, token.IDENT, token.EQUALS,
+		token.UNDERBAR, token.COMMA, token.DOTDOTDOT, token.RBRACE}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := New("val \x01 = 1")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Error("illegal character not reported")
+	}
+}
+
+func TestDollarIsSymbolic(t *testing.T) {
+	// SML's symbolic-identifier alphabet includes $.
+	lx := New("$$")
+	tok := lx.Next()
+	if tok.Kind != token.SYMID || tok.Text != "$$" {
+		t.Errorf("got %v %q", tok.Kind, tok.Text)
+	}
+}
+
+func TestHashVsSelector(t *testing.T) {
+	// # followed by digit or ident is a selector prefix (two tokens);
+	// #"c" is a char literal.
+	got := kinds(t, `#1 #name #"x"`)
+	want := []token.Kind{token.HASH, token.INT, token.HASH, token.IDENT, token.CHAR}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestLargeInput(t *testing.T) {
+	src := strings.Repeat("val x = 1 ", 10000)
+	lx := New(src)
+	toks := lx.All()
+	if len(toks) != 4*10000+1 {
+		t.Errorf("got %d tokens", len(toks))
+	}
+}

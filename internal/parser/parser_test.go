@@ -1,0 +1,461 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// parse parses src, failing the test on errors, and returns the decs.
+func parse(t *testing.T, src string) []ast.Dec {
+	t.Helper()
+	decs, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("parse %q: %v", src, errs[0])
+	}
+	return decs
+}
+
+// parseErr asserts that src fails to parse.
+func parseErr(t *testing.T, src string) {
+	t.Helper()
+	_, errs := Parse(src)
+	if len(errs) == 0 {
+		t.Fatalf("parse %q: expected error", src)
+	}
+}
+
+// firstVal extracts the expression of the first val binding.
+func firstVal(t *testing.T, src string) ast.Exp {
+	t.Helper()
+	decs := parse(t, src)
+	vd, ok := decs[0].(*ast.ValDec)
+	if !ok {
+		t.Fatalf("not a val dec: %T", decs[0])
+	}
+	return vd.Vbs[0].Exp
+}
+
+func TestInfixPrecedence(t *testing.T) {
+	// 1 + 2 * 3 parses as 1 + (2 * 3).
+	e := firstVal(t, "val x = 1 + 2 * 3")
+	app, ok := e.(*ast.AppExp)
+	if !ok {
+		t.Fatalf("not app: %T", e)
+	}
+	fn, ok := app.Fn.(*ast.VarExp)
+	if !ok || fn.Name.Base() != "+" {
+		t.Fatalf("outer operator = %v", app.Fn)
+	}
+	arg := app.Arg.(*ast.RecordExp)
+	inner, ok := arg.Fields[1].Exp.(*ast.AppExp)
+	if !ok {
+		t.Fatalf("rhs not app: %T", arg.Fields[1].Exp)
+	}
+	innerFn := inner.Fn.(*ast.VarExp)
+	if innerFn.Name.Base() != "*" {
+		t.Errorf("inner operator = %s", innerFn.Name)
+	}
+}
+
+func TestRightAssociativeCons(t *testing.T) {
+	// 1 :: 2 :: nil parses as 1 :: (2 :: nil).
+	e := firstVal(t, "val l = 1 :: 2 :: nil")
+	app := e.(*ast.AppExp)
+	if app.Fn.(*ast.VarExp).Name.Base() != "::" {
+		t.Fatal("outer not ::")
+	}
+	rhs := app.Arg.(*ast.RecordExp).Fields[1].Exp
+	if rhs.(*ast.AppExp).Fn.(*ast.VarExp).Name.Base() != "::" {
+		t.Error("rhs not ::")
+	}
+}
+
+func TestUserFixity(t *testing.T) {
+	decs := parse(t, "infixr 8 ** fun f x = x\nval y = f 1 ** f 2 ** f 3")
+	vd := decs[2].(*ast.ValDec)
+	app := vd.Vbs[0].Exp.(*ast.AppExp)
+	if app.Fn.(*ast.VarExp).Name.Base() != "**" {
+		t.Fatal("outer not **")
+	}
+	// Right associativity: second field is another ** application.
+	rhs := app.Arg.(*ast.RecordExp).Fields[1].Exp
+	if rhs.(*ast.AppExp).Fn.(*ast.VarExp).Name.Base() != "**" {
+		t.Error("** not right-associative")
+	}
+}
+
+func TestNonfix(t *testing.T) {
+	// After nonfix, + is an ordinary identifier usable in prefix form.
+	decs := parse(t, "nonfix +\nval x = + (1, 2)")
+	vd := decs[1].(*ast.ValDec)
+	app := vd.Vbs[0].Exp.(*ast.AppExp)
+	if app.Fn.(*ast.VarExp).Name.Base() != "+" {
+		t.Error("prefix + application not parsed")
+	}
+}
+
+func TestOpPrefix(t *testing.T) {
+	e := firstVal(t, "val plus = op +")
+	if e.(*ast.VarExp).Name.Base() != "+" {
+		t.Error("op + not parsed as variable")
+	}
+}
+
+func TestApplicationBindsTighterThanInfix(t *testing.T) {
+	// f x + g y = (f x) + (g y).
+	e := firstVal(t, "val r = f x + g y")
+	app := e.(*ast.AppExp)
+	if app.Fn.(*ast.VarExp).Name.Base() != "+" {
+		t.Fatal("not + at top")
+	}
+	lhs := app.Arg.(*ast.RecordExp).Fields[0].Exp
+	if _, ok := lhs.(*ast.AppExp); !ok {
+		t.Error("lhs not application")
+	}
+}
+
+func TestTupleAndUnit(t *testing.T) {
+	e := firstVal(t, "val t = (1, 2, 3)")
+	rec := e.(*ast.RecordExp)
+	if len(rec.Fields) != 3 || rec.Fields[0].Label != "1" || rec.Fields[2].Label != "3" {
+		t.Errorf("tuple fields %v", rec.Fields)
+	}
+	e = firstVal(t, "val u = ()")
+	if len(e.(*ast.RecordExp).Fields) != 0 {
+		t.Error("unit not empty record")
+	}
+}
+
+func TestSequenceExp(t *testing.T) {
+	e := firstVal(t, "val s = (a; b; c)")
+	seq := e.(*ast.SeqExp)
+	if len(seq.Exps) != 3 {
+		t.Errorf("seq length %d", len(seq.Exps))
+	}
+}
+
+func TestRecordAndSelector(t *testing.T) {
+	e := firstVal(t, "val r = {name = \"x\", age = 3}")
+	rec := e.(*ast.RecordExp)
+	if len(rec.Fields) != 2 || rec.Fields[0].Label != "name" {
+		t.Errorf("record fields %v", rec.Fields)
+	}
+	e = firstVal(t, "val g = #age")
+	if e.(*ast.SelectExp).Label != "age" {
+		t.Error("selector label")
+	}
+	e = firstVal(t, "val one = #1 p")
+	app := e.(*ast.AppExp)
+	if app.Fn.(*ast.SelectExp).Label != "1" {
+		t.Error("#1 selector")
+	}
+}
+
+func TestIfWhileCaseFnRaiseHandle(t *testing.T) {
+	parse(t, "val x = if a then b else c")
+	parse(t, "val y = while c do f ()")
+	parse(t, "val z = case l of nil => 0 | h :: t => h")
+	parse(t, "val f = fn 0 => 1 | n => n")
+	parse(t, "val r = (raise Fail \"no\") handle Fail s => s")
+	parse(t, "val h = f x handle Div => 0 | Overflow => 1")
+}
+
+func TestDanglingCase(t *testing.T) {
+	// Inner case absorbs the bar (maximal munch).
+	decs := parse(t, "val x = case a of 1 => case b of 2 => c | 3 => d")
+	vd := decs[0].(*ast.ValDec)
+	outer := vd.Vbs[0].Exp.(*ast.CaseExp)
+	if len(outer.Rules) != 1 {
+		t.Fatalf("outer rules = %d, want 1", len(outer.Rules))
+	}
+	inner := outer.Rules[0].Exp.(*ast.CaseExp)
+	if len(inner.Rules) != 2 {
+		t.Errorf("inner rules = %d, want 2", len(inner.Rules))
+	}
+}
+
+func TestLetAndLocal(t *testing.T) {
+	e := firstVal(t, "val v = let val a = 1 fun f x = x in f a end")
+	let := e.(*ast.LetExp)
+	if len(let.Decs) != 2 {
+		t.Errorf("let decs %d", len(let.Decs))
+	}
+	decs := parse(t, "local val hidden = 1 in val visible = hidden end")
+	if _, ok := decs[0].(*ast.LocalDec); !ok {
+		t.Error("local not parsed")
+	}
+}
+
+func TestFunClausesPrefix(t *testing.T) {
+	decs := parse(t, "fun len nil = 0 | len (_ :: r) = 1 + len r")
+	fd := decs[0].(*ast.FunDec)
+	if fd.Fbs[0].Name != "len" || len(fd.Fbs[0].Clauses) != 2 {
+		t.Errorf("fun bind %+v", fd.Fbs[0])
+	}
+}
+
+func TestFunCurried(t *testing.T) {
+	decs := parse(t, "fun const a b = a")
+	fd := decs[0].(*ast.FunDec)
+	if len(fd.Fbs[0].Clauses[0].Pats) != 2 {
+		t.Error("curried params")
+	}
+}
+
+func TestFunInfixClause(t *testing.T) {
+	decs := parse(t, "infix 6 <+> fun x <+> y = x")
+	fd := decs[1].(*ast.FunDec)
+	if fd.Fbs[0].Name != "<+>" {
+		t.Errorf("infix fun name %q", fd.Fbs[0].Name)
+	}
+	if len(fd.Fbs[0].Clauses[0].Pats) != 1 {
+		t.Error("infix clause should have one (tuple) pattern")
+	}
+}
+
+func TestFunOpForm(t *testing.T) {
+	decs := parse(t, "fun op @ (nil, ys) = ys | op @ (x :: xs, ys) = x :: (xs @ ys)")
+	fd := decs[0].(*ast.FunDec)
+	if fd.Fbs[0].Name != "@" || len(fd.Fbs[0].Clauses) != 2 {
+		t.Errorf("op fun %+v", fd.Fbs[0])
+	}
+}
+
+func TestFunAndGroup(t *testing.T) {
+	decs := parse(t, "fun even 0 = true | even n = odd (n - 1) and odd 0 = false | odd n = even (n - 1)")
+	fd := decs[0].(*ast.FunDec)
+	if len(fd.Fbs) != 2 || fd.Fbs[1].Name != "odd" {
+		t.Errorf("and group %+v", fd.Fbs)
+	}
+}
+
+func TestDatatypeDec(t *testing.T) {
+	decs := parse(t, "datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree")
+	dd := decs[0].(*ast.DatatypeDec)
+	db := dd.Dbs[0]
+	if db.Name != "tree" || len(db.TyVars) != 1 || len(db.Cons) != 2 {
+		t.Errorf("datatype %+v", db)
+	}
+	if db.Cons[0].Ty != nil || db.Cons[1].Ty == nil {
+		t.Error("constructor arg types")
+	}
+}
+
+func TestDatatypeWithtype(t *testing.T) {
+	decs := parse(t, "datatype t = C of u withtype u = int * int")
+	dd := decs[0].(*ast.DatatypeDec)
+	if len(dd.WithType) != 1 || dd.WithType[0].Name != "u" {
+		t.Errorf("withtype %+v", dd.WithType)
+	}
+}
+
+func TestDatatypeReplication(t *testing.T) {
+	decs := parse(t, "datatype t = datatype List.list")
+	dr := decs[0].(*ast.DatatypeReplDec)
+	if dr.Name != "t" || dr.Old.String() != "List.list" {
+		t.Errorf("replication %+v", dr)
+	}
+}
+
+func TestExceptionDec(t *testing.T) {
+	decs := parse(t, "exception E and F of int and G = Other.G")
+	ed := decs[0].(*ast.ExceptionDec)
+	if len(ed.Ebs) != 3 {
+		t.Fatalf("exn binds %d", len(ed.Ebs))
+	}
+	if ed.Ebs[1].Ty == nil || ed.Ebs[2].Alias == nil {
+		t.Error("exn forms")
+	}
+}
+
+func TestTypeDec(t *testing.T) {
+	decs := parse(t, "type ('a, 'b) pair = 'a * 'b and t = int")
+	td := decs[0].(*ast.TypeDec)
+	if len(td.Tbs) != 2 || len(td.Tbs[0].TyVars) != 2 {
+		t.Errorf("type binds %+v", td.Tbs)
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	parse(t, "val (a, b) = p")
+	parse(t, "val {x, y = (u, v), ...} = r")
+	parse(t, "val h :: t = l")
+	parse(t, "val x as (a, _) = p")
+	parse(t, "val SOME v = opt")
+	parse(t, "val [a, b, c] = l")
+	parse(t, "val 0w3 = w")
+	parse(t, "val (x : int) = n")
+}
+
+func TestStructureDec(t *testing.T) {
+	decs := parse(t, `
+		structure S = struct val x = 1 end
+		structure T : SIG = S
+		structure U :> SIG = S
+		structure V = S.Sub
+	`)
+	if len(decs) != 4 {
+		t.Fatalf("decs %d", len(decs))
+	}
+	sd := decs[2].(*ast.StructureDec)
+	if !sd.Sbs[0].Opaque {
+		t.Error(":> not opaque")
+	}
+}
+
+func TestFunctorDec(t *testing.T) {
+	decs := parse(t, "functor F (X : SIG) : RESULT = struct val y = X.x end")
+	fd := decs[0].(*ast.FunctorDec)
+	fb := fd.Fbs[0]
+	if fb.Name != "F" || fb.ParamName != "X" || fb.ResultSig == nil {
+		t.Errorf("functor %+v", fb)
+	}
+}
+
+func TestFunctorOpenedParam(t *testing.T) {
+	decs := parse(t, "functor F (val x : int type t) = struct val y = x end")
+	fd := decs[0].(*ast.FunctorDec)
+	if fd.Fbs[0].ParamName != "$Arg" {
+		t.Errorf("opened param name %q", fd.Fbs[0].ParamName)
+	}
+	// The body must be wrapped in let open $Arg.
+	if _, ok := fd.Fbs[0].Body.(*ast.LetStrExp); !ok {
+		t.Errorf("opened functor body %T", fd.Fbs[0].Body)
+	}
+}
+
+func TestFunctorApplication(t *testing.T) {
+	decs := parse(t, "structure A = F (B) structure C = G (val n = 1)")
+	sd := decs[0].(*ast.StructureDec)
+	app := sd.Sbs[0].Str.(*ast.AppStrExp)
+	if app.Functor != "F" {
+		t.Error("functor name")
+	}
+	sd2 := decs[1].(*ast.StructureDec)
+	app2 := sd2.Sbs[0].Str.(*ast.AppStrExp)
+	if _, ok := app2.Arg.(*ast.StructStrExp); !ok {
+		t.Error("declaration-form argument")
+	}
+}
+
+func TestSignatureSpecs(t *testing.T) {
+	decs := parse(t, `
+		signature S = sig
+		  type t
+		  eqtype e
+		  type u = int
+		  datatype d = A | B of int
+		  val x : t
+		  val f : t -> u
+		  exception Bad of string
+		  structure Sub : OTHER
+		  include BASE
+		  sharing type t = Sub.t
+		end
+	`)
+	sd := decs[0].(*ast.SignatureDec)
+	sig := sd.Sbs[0].Sig.(*ast.SigSigExp)
+	if len(sig.Specs) != 10 {
+		t.Errorf("specs = %d, want 10", len(sig.Specs))
+	}
+}
+
+func TestWhereType(t *testing.T) {
+	decs := parse(t, "signature T = S where type t = int and type u = bool")
+	sd := decs[0].(*ast.SignatureDec)
+	w, ok := sd.Sbs[0].Sig.(*ast.WhereSigExp)
+	if !ok {
+		t.Fatalf("not where: %T", sd.Sbs[0].Sig)
+	}
+	if w.Tycon.String() != "u" {
+		t.Errorf("outer where tycon %s", w.Tycon)
+	}
+	inner := w.Sig.(*ast.WhereSigExp)
+	if inner.Tycon.String() != "t" {
+		t.Errorf("inner where tycon %s", inner.Tycon)
+	}
+}
+
+func TestTypesParse(t *testing.T) {
+	parse(t, "val f : int -> int -> bool = g")
+	parse(t, "val p : int * bool * string = q")
+	parse(t, "val l : (int, string) pair list = r")
+	parse(t, "val rc : {a: int, b: bool} = s")
+	parse(t, "val n : 'a list = nil")
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	parseErr(t, "val = 3")
+	parseErr(t, "val x 3")
+	parseErr(t, "fun f = 3")
+	parseErr(t, "structure = struct end")
+	parseErr(t, "val x = (1, ")
+	parseErr(t, "val x = case y of")
+	parseErr(t, "signature S = sig val x end")
+	parseErr(t, "infix 42 +")
+}
+
+func TestAndalsoOrelsePrecedence(t *testing.T) {
+	// a andalso b orelse c = (a andalso b) orelse c.
+	e := firstVal(t, "val x = a andalso b orelse c")
+	if _, ok := e.(*ast.OrelseExp); !ok {
+		t.Errorf("top is %T, want orelse", e)
+	}
+}
+
+func TestTypedExpPrecedence(t *testing.T) {
+	// a : t andalso b — the constraint binds tighter.
+	e := firstVal(t, "val x = a : bool andalso b")
+	and, ok := e.(*ast.AndalsoExp)
+	if !ok {
+		t.Fatalf("top is %T", e)
+	}
+	if _, ok := and.L.(*ast.TypedExp); !ok {
+		t.Errorf("lhs is %T, want typed", and.L)
+	}
+}
+
+func TestFixityScoping(t *testing.T) {
+	// A fixity declared inside let does not escape: afterwards the
+	// operator is nonfix, so `3 <+> 4` parses as juxtaposed application
+	// rather than as an infix application of <+>.
+	decs := parse(t, `
+		val a = let infix 6 <+> fun x <+> y = x in 1 <+> 2 end
+		val b = 3 <+> 4
+	`)
+	bDec := decs[1].(*ast.ValDec)
+	top := bDec.Vbs[0].Exp.(*ast.AppExp)
+	if v, ok := top.Fn.(*ast.VarExp); ok && v.Name.Base() == "<+>" {
+		t.Error("fixity escaped the let")
+	}
+	// Inside the let it IS infix.
+	aDec := decs[0].(*ast.ValDec)
+	inner := aDec.Vbs[0].Exp.(*ast.LetExp).Body.(*ast.AppExp)
+	if v, ok := inner.Fn.(*ast.VarExp); !ok || v.Name.Base() != "<+>" {
+		t.Error("fixity not active inside the let")
+	}
+	// A fixity inside a structure body does not escape either.
+	decs = parse(t, `
+		structure S = struct infix 6 <&> fun x <&> y = x end
+		val c = 1 <&> 2
+	`)
+	cDec := decs[1].(*ast.ValDec)
+	topC := cDec.Vbs[0].Exp.(*ast.AppExp)
+	if v, ok := topC.Fn.(*ast.VarExp); ok && v.Name.Base() == "<&>" {
+		t.Error("fixity escaped the structure")
+	}
+	// But a fixity in the OUTER part of local escapes, like its bindings.
+	parse(t, `
+		local val h = 1 in infix 6 <*> fun x <*> y = x + h end
+		val d = 1 <*> 2
+	`)
+}
+
+func TestOpenAndFixityDecs(t *testing.T) {
+	decs := parse(t, "open A B.C infix 5 +++ nonfix xyz")
+	od := decs[0].(*ast.OpenDec)
+	if len(od.Strs) != 2 || od.Strs[1].String() != "B.C" {
+		t.Errorf("open %+v", od.Strs)
+	}
+}

@@ -1,0 +1,73 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: arbitrary byte soup must produce errors, never
+// a panic escaping Parse.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserTokenSoup: sequences built from real SML tokens are the
+// adversarial case for a recursive-descent parser.
+func TestParserTokenSoup(t *testing.T) {
+	tokens := []string{
+		"val", "fun", "let", "in", "end", "fn", "=>", "=", "(", ")",
+		"[", "]", "{", "}", "case", "of", "|", "structure", "sig",
+		"struct", "functor", ":", ":>", "->", "1", "x", "::", "+",
+		"datatype", "and", "withtype", "op", "_", ",", ";", "...",
+		"infix", "raise", "handle", "local", "open", "#", "\"s\"",
+	}
+	f := func(picks []uint8) (ok bool) {
+		src := ""
+		for _, p := range picks {
+			src += tokens[int(p)%len(tokens)] + " "
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepNesting: heavily nested input must not exhaust the stack at
+// plausible depths.
+func TestDeepNesting(t *testing.T) {
+	src := "val x = "
+	for i := 0; i < 2000; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < 2000; i++ {
+		src += ")"
+	}
+	if _, errs := Parse(src); len(errs) > 0 {
+		t.Errorf("deep parens rejected: %v", errs[0])
+	}
+	// Unbalanced variant must error, not hang or crash.
+	if _, errs := Parse("val x = ((((((((((1"); len(errs) == 0 {
+		t.Error("unbalanced parens accepted")
+	}
+}

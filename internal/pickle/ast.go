@@ -1,0 +1,930 @@
+package pickle
+
+import (
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// AST serialization. Functor bodies and signature definitions are kept
+// as abstract syntax in static environments (they are re-elaborated at
+// use), so bin files must carry them. Source positions are deliberately
+// NOT encoded: the intrinsic pid is the hash of the pickle stream, and
+// a change of positions alone (adding a comment above a functor) must
+// not change the unit's interface hash — that is precisely the cutoff
+// the paper's system provides over timestamp-based recompilation.
+
+// AST node tags, one namespace per syntactic class.
+const (
+	aTyVar = iota
+	aTyCon
+	aTyRecord
+	aTyArrow
+)
+
+const (
+	aPatWild = iota
+	aPatVar
+	aPatConst
+	aPatCon
+	aPatRecord
+	aPatAs
+	aPatTyped
+)
+
+const (
+	aExpConst = iota
+	aExpVar
+	aExpRecord
+	aExpSelect
+	aExpApp
+	aExpTyped
+	aExpAndalso
+	aExpOrelse
+	aExpIf
+	aExpWhile
+	aExpCase
+	aExpFn
+	aExpLet
+	aExpSeq
+	aExpRaise
+	aExpHandle
+	aExpList
+)
+
+const (
+	aDecVal = iota
+	aDecFun
+	aDecType
+	aDecDatatype
+	aDecDatatypeRepl
+	aDecException
+	aDecLocal
+	aDecOpen
+	aDecFixity
+	aDecSeq
+	aDecStructure
+	aDecSignature
+	aDecFunctor
+	aDecAbstype
+)
+
+const (
+	aStrStruct = iota
+	aStrPath
+	aStrApp
+	aStrConstraint
+	aStrLet
+)
+
+const (
+	aSigSig = iota
+	aSigName
+	aSigWhere
+)
+
+const (
+	aSpecVal = iota
+	aSpecType
+	aSpecDatatype
+	aSpecException
+	aSpecStructure
+	aSpecInclude
+	aSpecSharing
+)
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+func (p *Pickler) longID(id ast.LongID) {
+	p.w.int(len(id.Parts))
+	for _, part := range id.Parts {
+		p.w.string(part)
+	}
+}
+
+func (p *Pickler) strs(ss []string) {
+	p.w.int(len(ss))
+	for _, s := range ss {
+		p.w.string(s)
+	}
+}
+
+// AstTy writes a type expression.
+func (p *Pickler) AstTy(t ast.Ty) {
+	switch t := t.(type) {
+	case *ast.VarTy:
+		p.w.byteVal(aTyVar)
+		p.w.string(t.Name)
+	case *ast.ConTy:
+		p.w.byteVal(aTyCon)
+		p.w.int(len(t.Args))
+		for _, a := range t.Args {
+			p.AstTy(a)
+		}
+		p.longID(t.Con)
+	case *ast.RecordTy:
+		p.w.byteVal(aTyRecord)
+		p.w.int(len(t.Fields))
+		for _, f := range t.Fields {
+			p.w.string(f.Label)
+			p.AstTy(f.Ty)
+		}
+	case *ast.ArrowTy:
+		p.w.byteVal(aTyArrow)
+		p.AstTy(t.From)
+		p.AstTy(t.To)
+	default:
+		p.w.error("pickle: unknown ast type %T", t)
+	}
+}
+
+func (p *Pickler) optAstTy(t ast.Ty) {
+	if t == nil {
+		p.w.bool(false)
+		return
+	}
+	p.w.bool(true)
+	p.AstTy(t)
+}
+
+// Pat writes a pattern.
+func (p *Pickler) Pat(q ast.Pat) {
+	switch q := q.(type) {
+	case *ast.WildPat:
+		p.w.byteVal(aPatWild)
+	case *ast.VarPat:
+		p.w.byteVal(aPatVar)
+		p.longID(q.Name)
+	case *ast.ConstPat:
+		p.w.byteVal(aPatConst)
+		p.w.byteVal(byte(q.Kind))
+		p.w.string(q.Text)
+	case *ast.ConPat:
+		p.w.byteVal(aPatCon)
+		p.longID(q.Con)
+		p.Pat(q.Arg)
+	case *ast.RecordPat:
+		p.w.byteVal(aPatRecord)
+		p.w.bool(q.Flexible)
+		p.w.int(len(q.Fields))
+		for _, f := range q.Fields {
+			p.w.string(f.Label)
+			p.Pat(f.Pat)
+		}
+	case *ast.AsPat:
+		p.w.byteVal(aPatAs)
+		p.w.string(q.Name)
+		p.Pat(q.Pat)
+	case *ast.TypedPat:
+		p.w.byteVal(aPatTyped)
+		p.Pat(q.Pat)
+		p.AstTy(q.Ty)
+	default:
+		p.w.error("pickle: unknown pattern %T", q)
+	}
+}
+
+// Exp writes an expression.
+func (p *Pickler) Exp(x ast.Exp) {
+	switch x := x.(type) {
+	case *ast.ConstExp:
+		p.w.byteVal(aExpConst)
+		p.w.byteVal(byte(x.Kind))
+		p.w.string(x.Text)
+	case *ast.VarExp:
+		p.w.byteVal(aExpVar)
+		p.longID(x.Name)
+	case *ast.RecordExp:
+		p.w.byteVal(aExpRecord)
+		p.w.int(len(x.Fields))
+		for _, f := range x.Fields {
+			p.w.string(f.Label)
+			p.Exp(f.Exp)
+		}
+	case *ast.SelectExp:
+		p.w.byteVal(aExpSelect)
+		p.w.string(x.Label)
+	case *ast.AppExp:
+		p.w.byteVal(aExpApp)
+		p.Exp(x.Fn)
+		p.Exp(x.Arg)
+	case *ast.TypedExp:
+		p.w.byteVal(aExpTyped)
+		p.Exp(x.Exp)
+		p.AstTy(x.Ty)
+	case *ast.AndalsoExp:
+		p.w.byteVal(aExpAndalso)
+		p.Exp(x.L)
+		p.Exp(x.R)
+	case *ast.OrelseExp:
+		p.w.byteVal(aExpOrelse)
+		p.Exp(x.L)
+		p.Exp(x.R)
+	case *ast.IfExp:
+		p.w.byteVal(aExpIf)
+		p.Exp(x.Cond)
+		p.Exp(x.Then)
+		p.Exp(x.Else)
+	case *ast.WhileExp:
+		p.w.byteVal(aExpWhile)
+		p.Exp(x.Cond)
+		p.Exp(x.Body)
+	case *ast.CaseExp:
+		p.w.byteVal(aExpCase)
+		p.Exp(x.Exp)
+		p.rules(x.Rules)
+	case *ast.FnExp:
+		p.w.byteVal(aExpFn)
+		p.rules(x.Rules)
+	case *ast.LetExp:
+		p.w.byteVal(aExpLet)
+		p.Decs(x.Decs)
+		p.Exp(x.Body)
+	case *ast.SeqExp:
+		p.w.byteVal(aExpSeq)
+		p.w.int(len(x.Exps))
+		for _, sub := range x.Exps {
+			p.Exp(sub)
+		}
+	case *ast.RaiseExp:
+		p.w.byteVal(aExpRaise)
+		p.Exp(x.Exp)
+	case *ast.HandleExp:
+		p.w.byteVal(aExpHandle)
+		p.Exp(x.Exp)
+		p.rules(x.Rules)
+	case *ast.ListExp:
+		p.w.byteVal(aExpList)
+		p.w.int(len(x.Exps))
+		for _, sub := range x.Exps {
+			p.Exp(sub)
+		}
+	default:
+		p.w.error("pickle: unknown expression %T", x)
+	}
+}
+
+func (p *Pickler) rules(rules []ast.Rule) {
+	p.w.int(len(rules))
+	for _, r := range rules {
+		p.Pat(r.Pat)
+		p.Exp(r.Exp)
+	}
+}
+
+// Decs writes a declaration list.
+func (p *Pickler) Decs(decs []ast.Dec) {
+	p.w.int(len(decs))
+	for _, d := range decs {
+		p.Dec(d)
+	}
+}
+
+func (p *Pickler) typeBinds(tbs []ast.TypeBind) {
+	p.w.int(len(tbs))
+	for _, tb := range tbs {
+		p.strs(tb.TyVars)
+		p.w.string(tb.Name)
+		p.AstTy(tb.Ty)
+	}
+}
+
+func (p *Pickler) dataBinds(dbs []ast.DataBind) {
+	p.w.int(len(dbs))
+	for _, db := range dbs {
+		p.strs(db.TyVars)
+		p.w.string(db.Name)
+		p.w.int(len(db.Cons))
+		for _, cb := range db.Cons {
+			p.w.string(cb.Name)
+			p.optAstTy(cb.Ty)
+		}
+	}
+}
+
+// Dec writes one declaration.
+func (p *Pickler) Dec(d ast.Dec) {
+	switch d := d.(type) {
+	case *ast.ValDec:
+		p.w.byteVal(aDecVal)
+		p.strs(d.TyVars)
+		p.w.int(len(d.Vbs))
+		for _, vb := range d.Vbs {
+			p.w.bool(vb.Rec)
+			p.Pat(vb.Pat)
+			p.Exp(vb.Exp)
+		}
+	case *ast.FunDec:
+		p.w.byteVal(aDecFun)
+		p.strs(d.TyVars)
+		p.w.int(len(d.Fbs))
+		for _, fb := range d.Fbs {
+			p.w.string(fb.Name)
+			p.w.int(len(fb.Clauses))
+			for _, cl := range fb.Clauses {
+				p.w.int(len(cl.Pats))
+				for _, q := range cl.Pats {
+					p.Pat(q)
+				}
+				p.optAstTy(cl.ResultTy)
+				p.Exp(cl.Body)
+			}
+		}
+	case *ast.TypeDec:
+		p.w.byteVal(aDecType)
+		p.typeBinds(d.Tbs)
+	case *ast.DatatypeDec:
+		p.w.byteVal(aDecDatatype)
+		p.dataBinds(d.Dbs)
+		p.typeBinds(d.WithType)
+	case *ast.AbstypeDec:
+		p.w.byteVal(aDecAbstype)
+		p.dataBinds(d.Dbs)
+		p.typeBinds(d.WithType)
+		p.Decs(d.Body)
+	case *ast.DatatypeReplDec:
+		p.w.byteVal(aDecDatatypeRepl)
+		p.w.string(d.Name)
+		p.longID(d.Old)
+	case *ast.ExceptionDec:
+		p.w.byteVal(aDecException)
+		p.w.int(len(d.Ebs))
+		for _, eb := range d.Ebs {
+			p.w.string(eb.Name)
+			p.optAstTy(eb.Ty)
+			if eb.Alias != nil {
+				p.w.bool(true)
+				p.longID(*eb.Alias)
+			} else {
+				p.w.bool(false)
+			}
+		}
+	case *ast.LocalDec:
+		p.w.byteVal(aDecLocal)
+		p.Decs(d.Inner)
+		p.Decs(d.Outer)
+	case *ast.OpenDec:
+		p.w.byteVal(aDecOpen)
+		p.w.int(len(d.Strs))
+		for _, s := range d.Strs {
+			p.longID(s)
+		}
+	case *ast.FixityDec:
+		p.w.byteVal(aDecFixity)
+		p.w.byteVal(byte(d.Kind))
+		p.w.int(d.Prec)
+		p.strs(d.Names)
+	case *ast.SeqDec:
+		p.w.byteVal(aDecSeq)
+		p.Decs(d.Decs)
+	case *ast.StructureDec:
+		p.w.byteVal(aDecStructure)
+		p.w.int(len(d.Sbs))
+		for _, sb := range d.Sbs {
+			p.w.string(sb.Name)
+			if sb.Sig != nil {
+				p.w.bool(true)
+				p.w.bool(sb.Opaque)
+				p.SigExp(sb.Sig)
+			} else {
+				p.w.bool(false)
+			}
+			p.StrExp(sb.Str)
+		}
+	case *ast.SignatureDec:
+		p.w.byteVal(aDecSignature)
+		p.w.int(len(d.Sbs))
+		for _, sb := range d.Sbs {
+			p.w.string(sb.Name)
+			p.SigExp(sb.Sig)
+		}
+	case *ast.FunctorDec:
+		p.w.byteVal(aDecFunctor)
+		p.w.int(len(d.Fbs))
+		for _, fb := range d.Fbs {
+			p.w.string(fb.Name)
+			p.w.string(fb.ParamName)
+			p.SigExp(fb.ParamSig)
+			if fb.ResultSig != nil {
+				p.w.bool(true)
+				p.w.bool(fb.Opaque)
+				p.SigExp(fb.ResultSig)
+			} else {
+				p.w.bool(false)
+			}
+			p.StrExp(fb.Body)
+		}
+	default:
+		p.w.error("pickle: unknown declaration %T", d)
+	}
+}
+
+// StrExp writes a structure expression.
+func (p *Pickler) StrExp(se ast.StrExp) {
+	switch se := se.(type) {
+	case *ast.StructStrExp:
+		p.w.byteVal(aStrStruct)
+		p.Decs(se.Decs)
+	case *ast.PathStrExp:
+		p.w.byteVal(aStrPath)
+		p.longID(se.Path)
+	case *ast.AppStrExp:
+		p.w.byteVal(aStrApp)
+		p.w.string(se.Functor)
+		p.StrExp(se.Arg)
+	case *ast.ConstraintStrExp:
+		p.w.byteVal(aStrConstraint)
+		p.StrExp(se.Str)
+		p.SigExp(se.Sig)
+		p.w.bool(se.Opaque)
+	case *ast.LetStrExp:
+		p.w.byteVal(aStrLet)
+		p.Decs(se.Decs)
+		p.StrExp(se.Body)
+	default:
+		p.w.error("pickle: unknown structure expression %T", se)
+	}
+}
+
+// SigExp writes a signature expression.
+func (p *Pickler) SigExp(se ast.SigExp) {
+	switch se := se.(type) {
+	case *ast.SigSigExp:
+		p.w.byteVal(aSigSig)
+		p.w.int(len(se.Specs))
+		for _, spec := range se.Specs {
+			p.Spec(spec)
+		}
+	case *ast.NameSigExp:
+		p.w.byteVal(aSigName)
+		p.w.string(se.Name)
+	case *ast.WhereSigExp:
+		p.w.byteVal(aSigWhere)
+		p.SigExp(se.Sig)
+		p.strs(se.TyVars)
+		p.longID(se.Tycon)
+		p.AstTy(se.Ty)
+	default:
+		p.w.error("pickle: unknown signature expression %T", se)
+	}
+}
+
+// Spec writes a signature specification.
+func (p *Pickler) Spec(spec ast.Spec) {
+	switch spec := spec.(type) {
+	case *ast.ValSpec:
+		p.w.byteVal(aSpecVal)
+		p.w.string(spec.Name)
+		p.AstTy(spec.Ty)
+	case *ast.TypeSpec:
+		p.w.byteVal(aSpecType)
+		p.strs(spec.TyVars)
+		p.w.string(spec.Name)
+		p.optAstTy(spec.Def)
+		p.w.bool(spec.Eq)
+	case *ast.DatatypeSpec:
+		p.w.byteVal(aSpecDatatype)
+		p.dataBinds(spec.Dbs)
+	case *ast.ExceptionSpec:
+		p.w.byteVal(aSpecException)
+		p.w.string(spec.Name)
+		p.optAstTy(spec.Ty)
+	case *ast.StructureSpec:
+		p.w.byteVal(aSpecStructure)
+		p.w.string(spec.Name)
+		p.SigExp(spec.Sig)
+	case *ast.IncludeSpec:
+		p.w.byteVal(aSpecInclude)
+		p.SigExp(spec.Sig)
+	case *ast.SharingSpec:
+		p.w.byteVal(aSpecSharing)
+		p.w.int(len(spec.Tycons))
+		for _, t := range spec.Tycons {
+			p.longID(t)
+		}
+	default:
+		p.w.error("pickle: unknown spec %T", spec)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+func (u *Unpickler) longID() ast.LongID {
+	n := u.r.int()
+	if n < 0 || n > 100 {
+		u.r.error("pickle: bad longid length")
+		return ast.LongID{Parts: []string{"?"}}
+	}
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = u.r.string()
+	}
+	return ast.LongID{Parts: parts}
+}
+
+func (u *Unpickler) strSlice() []string {
+	n := u.r.int()
+	if n < 0 || n > 1<<20 {
+		u.r.error("pickle: bad string slice length")
+		return nil
+	}
+	out := make([]string, 0, max0(n))
+	for i := 0; i < n && u.r.err == nil; i++ {
+		out = append(out, u.r.string())
+	}
+	return out
+}
+
+// AstTy reads a type expression.
+func (u *Unpickler) AstTy() ast.Ty {
+	switch tag := u.r.byteVal(); tag {
+	case aTyVar:
+		return &ast.VarTy{Name: u.r.string()}
+	case aTyCon:
+		n := u.r.int()
+		args := make([]ast.Ty, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			args = append(args, u.AstTy())
+		}
+		return &ast.ConTy{Args: args, Con: u.longID()}
+	case aTyRecord:
+		n := u.r.int()
+		fields := make([]ast.RecordTyField, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			l := u.r.string()
+			fields = append(fields, ast.RecordTyField{Label: l, Ty: u.AstTy()})
+		}
+		return &ast.RecordTy{Fields: fields}
+	case aTyArrow:
+		from := u.AstTy()
+		return &ast.ArrowTy{From: from, To: u.AstTy()}
+	default:
+		u.r.error("pickle: bad ast type tag %d", tag)
+		return &ast.RecordTy{}
+	}
+}
+
+// max0 clamps a decoded count into a safe capacity hint: corrupt input
+// must not drive huge allocations (the data itself still bounds the
+// actual growth via append).
+func max0(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > 4096 {
+		return 4096
+	}
+	return n
+}
+
+func (u *Unpickler) optAstTy() ast.Ty {
+	if !u.r.bool() {
+		return nil
+	}
+	return u.AstTy()
+}
+
+// Pat reads a pattern.
+func (u *Unpickler) Pat() ast.Pat {
+	switch tag := u.r.byteVal(); tag {
+	case aPatWild:
+		return &ast.WildPat{}
+	case aPatVar:
+		return &ast.VarPat{Name: u.longID()}
+	case aPatConst:
+		k := token.Kind(u.r.byteVal())
+		return &ast.ConstPat{Kind: k, Text: u.r.string()}
+	case aPatCon:
+		id := u.longID()
+		return &ast.ConPat{Con: id, Arg: u.Pat()}
+	case aPatRecord:
+		flex := u.r.bool()
+		n := u.r.int()
+		fields := make([]ast.RecordPatField, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			l := u.r.string()
+			fields = append(fields, ast.RecordPatField{Label: l, Pat: u.Pat()})
+		}
+		return &ast.RecordPat{Fields: fields, Flexible: flex}
+	case aPatAs:
+		name := u.r.string()
+		return &ast.AsPat{Name: name, Pat: u.Pat()}
+	case aPatTyped:
+		q := u.Pat()
+		return &ast.TypedPat{Pat: q, Ty: u.AstTy()}
+	default:
+		u.r.error("pickle: bad pattern tag %d", tag)
+		return &ast.WildPat{}
+	}
+}
+
+// Exp reads an expression.
+func (u *Unpickler) Exp() ast.Exp {
+	switch tag := u.r.byteVal(); tag {
+	case aExpConst:
+		k := token.Kind(u.r.byteVal())
+		return &ast.ConstExp{Kind: k, Text: u.r.string()}
+	case aExpVar:
+		return &ast.VarExp{Name: u.longID()}
+	case aExpRecord:
+		n := u.r.int()
+		fields := make([]ast.RecordExpField, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			l := u.r.string()
+			fields = append(fields, ast.RecordExpField{Label: l, Exp: u.Exp()})
+		}
+		return &ast.RecordExp{Fields: fields}
+	case aExpSelect:
+		return &ast.SelectExp{Label: u.r.string()}
+	case aExpApp:
+		fn := u.Exp()
+		return &ast.AppExp{Fn: fn, Arg: u.Exp()}
+	case aExpTyped:
+		x := u.Exp()
+		return &ast.TypedExp{Exp: x, Ty: u.AstTy()}
+	case aExpAndalso:
+		l := u.Exp()
+		return &ast.AndalsoExp{L: l, R: u.Exp()}
+	case aExpOrelse:
+		l := u.Exp()
+		return &ast.OrelseExp{L: l, R: u.Exp()}
+	case aExpIf:
+		c := u.Exp()
+		t := u.Exp()
+		return &ast.IfExp{Cond: c, Then: t, Else: u.Exp()}
+	case aExpWhile:
+		c := u.Exp()
+		return &ast.WhileExp{Cond: c, Body: u.Exp()}
+	case aExpCase:
+		x := u.Exp()
+		return &ast.CaseExp{Exp: x, Rules: u.rules()}
+	case aExpFn:
+		return &ast.FnExp{Rules: u.rules()}
+	case aExpLet:
+		decs := u.Decs()
+		return &ast.LetExp{Decs: decs, Body: u.Exp()}
+	case aExpSeq:
+		n := u.r.int()
+		exps := make([]ast.Exp, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			exps = append(exps, u.Exp())
+		}
+		return &ast.SeqExp{Exps: exps}
+	case aExpRaise:
+		return &ast.RaiseExp{Exp: u.Exp()}
+	case aExpHandle:
+		x := u.Exp()
+		return &ast.HandleExp{Exp: x, Rules: u.rules()}
+	case aExpList:
+		n := u.r.int()
+		exps := make([]ast.Exp, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			exps = append(exps, u.Exp())
+		}
+		return &ast.ListExp{Exps: exps}
+	default:
+		u.r.error("pickle: bad expression tag %d", tag)
+		return &ast.RecordExp{}
+	}
+}
+
+func (u *Unpickler) rules() []ast.Rule {
+	n := u.r.int()
+	rules := make([]ast.Rule, 0, max0(n))
+	for i := 0; i < n && u.r.err == nil; i++ {
+		q := u.Pat()
+		rules = append(rules, ast.Rule{Pat: q, Exp: u.Exp()})
+	}
+	return rules
+}
+
+// Decs reads a declaration list.
+func (u *Unpickler) Decs() []ast.Dec {
+	n := u.r.int()
+	decs := make([]ast.Dec, 0, max0(n))
+	for i := 0; i < n && u.r.err == nil; i++ {
+		decs = append(decs, u.Dec())
+	}
+	return decs
+}
+
+func (u *Unpickler) typeBinds() []ast.TypeBind {
+	n := u.r.int()
+	tbs := make([]ast.TypeBind, 0, max0(n))
+	for i := 0; i < n && u.r.err == nil; i++ {
+		tyvars := u.strSlice()
+		name := u.r.string()
+		tbs = append(tbs, ast.TypeBind{TyVars: tyvars, Name: name, Ty: u.AstTy()})
+	}
+	return tbs
+}
+
+func (u *Unpickler) dataBinds() []ast.DataBind {
+	n := u.r.int()
+	dbs := make([]ast.DataBind, 0, max0(n))
+	for i := 0; i < n && u.r.err == nil; i++ {
+		db := ast.DataBind{TyVars: u.strSlice(), Name: u.r.string()}
+		m := u.r.int()
+		for j := 0; j < m && u.r.err == nil; j++ {
+			name := u.r.string()
+			db.Cons = append(db.Cons, ast.ConBind{Name: name, Ty: u.optAstTy()})
+		}
+		dbs = append(dbs, db)
+	}
+	return dbs
+}
+
+// Dec reads one declaration.
+func (u *Unpickler) Dec() ast.Dec {
+	switch tag := u.r.byteVal(); tag {
+	case aDecVal:
+		d := &ast.ValDec{TyVars: u.strSlice()}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			rec := u.r.bool()
+			q := u.Pat()
+			d.Vbs = append(d.Vbs, ast.ValBind{Rec: rec, Pat: q, Exp: u.Exp()})
+		}
+		return d
+	case aDecFun:
+		d := &ast.FunDec{TyVars: u.strSlice()}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			fb := ast.FunBind{Name: u.r.string()}
+			m := u.r.int()
+			for j := 0; j < m && u.r.err == nil; j++ {
+				var cl ast.FunClause
+				k := u.r.int()
+				for l := 0; l < k && u.r.err == nil; l++ {
+					cl.Pats = append(cl.Pats, u.Pat())
+				}
+				cl.ResultTy = u.optAstTy()
+				cl.Body = u.Exp()
+				fb.Clauses = append(fb.Clauses, cl)
+			}
+			d.Fbs = append(d.Fbs, fb)
+		}
+		return d
+	case aDecType:
+		return &ast.TypeDec{Tbs: u.typeBinds()}
+	case aDecDatatype:
+		dbs := u.dataBinds()
+		return &ast.DatatypeDec{Dbs: dbs, WithType: u.typeBinds()}
+	case aDecAbstype:
+		dbs := u.dataBinds()
+		wt := u.typeBinds()
+		return &ast.AbstypeDec{Dbs: dbs, WithType: wt, Body: u.Decs()}
+	case aDecDatatypeRepl:
+		name := u.r.string()
+		return &ast.DatatypeReplDec{Name: name, Old: u.longID()}
+	case aDecException:
+		d := &ast.ExceptionDec{}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			eb := ast.ExnBind{Name: u.r.string(), Ty: u.optAstTy()}
+			if u.r.bool() {
+				alias := u.longID()
+				eb.Alias = &alias
+			}
+			d.Ebs = append(d.Ebs, eb)
+		}
+		return d
+	case aDecLocal:
+		inner := u.Decs()
+		return &ast.LocalDec{Inner: inner, Outer: u.Decs()}
+	case aDecOpen:
+		d := &ast.OpenDec{}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			d.Strs = append(d.Strs, u.longID())
+		}
+		return d
+	case aDecFixity:
+		k := token.Kind(u.r.byteVal())
+		prec := u.r.int()
+		return &ast.FixityDec{Kind: k, Prec: prec, Names: u.strSlice()}
+	case aDecSeq:
+		return &ast.SeqDec{Decs: u.Decs()}
+	case aDecStructure:
+		d := &ast.StructureDec{}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			sb := ast.StrBind{Name: u.r.string()}
+			if u.r.bool() {
+				sb.Opaque = u.r.bool()
+				sb.Sig = u.SigExp()
+			}
+			sb.Str = u.StrExp()
+			d.Sbs = append(d.Sbs, sb)
+		}
+		return d
+	case aDecSignature:
+		d := &ast.SignatureDec{}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			name := u.r.string()
+			d.Sbs = append(d.Sbs, ast.SigBind{Name: name, Sig: u.SigExp()})
+		}
+		return d
+	case aDecFunctor:
+		d := &ast.FunctorDec{}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			fb := ast.FunctorBind{Name: u.r.string(), ParamName: u.r.string()}
+			fb.ParamSig = u.SigExp()
+			if u.r.bool() {
+				fb.Opaque = u.r.bool()
+				fb.ResultSig = u.SigExp()
+			}
+			fb.Body = u.StrExp()
+			d.Fbs = append(d.Fbs, fb)
+		}
+		return d
+	default:
+		u.r.error("pickle: bad declaration tag %d", tag)
+		return &ast.SeqDec{}
+	}
+}
+
+// StrExp reads a structure expression.
+func (u *Unpickler) StrExp() ast.StrExp {
+	switch tag := u.r.byteVal(); tag {
+	case aStrStruct:
+		return &ast.StructStrExp{Decs: u.Decs()}
+	case aStrPath:
+		return &ast.PathStrExp{Path: u.longID()}
+	case aStrApp:
+		name := u.r.string()
+		return &ast.AppStrExp{Functor: name, Arg: u.StrExp()}
+	case aStrConstraint:
+		se := u.StrExp()
+		sig := u.SigExp()
+		return &ast.ConstraintStrExp{Str: se, Sig: sig, Opaque: u.r.bool()}
+	case aStrLet:
+		decs := u.Decs()
+		return &ast.LetStrExp{Decs: decs, Body: u.StrExp()}
+	default:
+		u.r.error("pickle: bad strexp tag %d", tag)
+		return &ast.StructStrExp{}
+	}
+}
+
+// SigExp reads a signature expression.
+func (u *Unpickler) SigExp() ast.SigExp {
+	switch tag := u.r.byteVal(); tag {
+	case aSigSig:
+		n := u.r.int()
+		specs := make([]ast.Spec, 0, max0(n))
+		for i := 0; i < n && u.r.err == nil; i++ {
+			specs = append(specs, u.Spec())
+		}
+		return &ast.SigSigExp{Specs: specs}
+	case aSigName:
+		return &ast.NameSigExp{Name: u.r.string()}
+	case aSigWhere:
+		se := u.SigExp()
+		tyvars := u.strSlice()
+		tycon := u.longID()
+		return &ast.WhereSigExp{Sig: se, TyVars: tyvars, Tycon: tycon, Ty: u.AstTy()}
+	default:
+		u.r.error("pickle: bad sigexp tag %d", tag)
+		return &ast.SigSigExp{}
+	}
+}
+
+// Spec reads one specification.
+func (u *Unpickler) Spec() ast.Spec {
+	switch tag := u.r.byteVal(); tag {
+	case aSpecVal:
+		name := u.r.string()
+		return &ast.ValSpec{Name: name, Ty: u.AstTy()}
+	case aSpecType:
+		tyvars := u.strSlice()
+		name := u.r.string()
+		def := u.optAstTy()
+		return &ast.TypeSpec{TyVars: tyvars, Name: name, Def: def, Eq: u.r.bool()}
+	case aSpecDatatype:
+		return &ast.DatatypeSpec{Dbs: u.dataBinds()}
+	case aSpecException:
+		name := u.r.string()
+		return &ast.ExceptionSpec{Name: name, Ty: u.optAstTy()}
+	case aSpecStructure:
+		name := u.r.string()
+		return &ast.StructureSpec{Name: name, Sig: u.SigExp()}
+	case aSpecInclude:
+		return &ast.IncludeSpec{Sig: u.SigExp()}
+	case aSpecSharing:
+		d := &ast.SharingSpec{}
+		n := u.r.int()
+		for i := 0; i < n && u.r.err == nil; i++ {
+			d.Tycons = append(d.Tycons, u.longID())
+		}
+		return d
+	default:
+		u.r.error("pickle: bad spec tag %d", tag)
+		return &ast.SharingSpec{}
+	}
+}

@@ -1,0 +1,361 @@
+package pickle
+
+import (
+	"io"
+
+	"repro/internal/env"
+	"repro/internal/pid"
+	"repro/internal/stamps"
+	"repro/internal/types"
+)
+
+// Object tags.
+const (
+	tagNil     = 0 // absent optional object
+	tagInline  = 1 // full definition; registers a backref id
+	tagBackref = 2 // reference to an earlier object in this stream
+	tagStub    = 3 // external object, identified by stamp only
+)
+
+// Stamp encodings.
+const (
+	stampAlpha = 0 // provisional: ordinal among provisional stamps seen
+	stampPerm  = 1 // permanent: origin pid + index
+)
+
+// Pickler dehydrates static-environment objects.
+type Pickler struct {
+	w *writer
+	// ownPid is the unit's intrinsic pid; objects stamped by other
+	// origins become stubs. Zero during the hash pass, when everything
+	// permanent is external and everything provisional is alpha-encoded.
+	ownPid pid.Pid
+
+	seen   map[any]uint64
+	nextID uint64
+
+	alpha map[stamps.Stamp]int64
+	// provisional records, in traversal order, the objects whose stamps
+	// were provisional — the order permanent stamps are assigned in.
+	provisional []any
+
+	// rawStamps disables alpha conversion: provisional stamps are
+	// written with their raw generator indices. This exists only for
+	// the ablation benchmark showing that, without alpha conversion,
+	// recompiling an unchanged interface changes its hash and cutoff
+	// never fires (§5).
+	rawStamps bool
+}
+
+// SetRawStamps toggles the alpha-conversion ablation (see rawStamps).
+func (p *Pickler) SetRawStamps(raw bool) { p.rawStamps = raw }
+
+// NewPickler returns a pickler writing to w. ownPid selects stub
+// behaviour (see Pickler.ownPid).
+func NewPickler(out io.Writer, ownPid pid.Pid) *Pickler {
+	return &Pickler{
+		w:      &writer{w: out},
+		ownPid: ownPid,
+		seen:   map[any]uint64{},
+		alpha:  map[stamps.Stamp]int64{},
+	}
+}
+
+// Err returns the first write error.
+func (p *Pickler) Err() error { return p.w.err }
+
+// BytesWritten reports the stream length so far.
+func (p *Pickler) BytesWritten() int { return p.w.n }
+
+// Provisional returns the provisionally stamped objects in traversal
+// order (the order in which permanent stamps must be assigned).
+func (p *Pickler) Provisional() []any { return p.provisional }
+
+// AssignPermanentStamps rewrites every provisional stamp encountered
+// during pickling to a permanent stamp derived from the unit's
+// intrinsic pid — the paper's post-hash replacement of provisional pids
+// (§5). The ordinal assigned matches the alpha ordinal used during
+// hashing, so identical interfaces yield identical permanent stamps.
+func AssignPermanentStamps(objs []any, unitPid pid.Pid) {
+	for i, obj := range objs {
+		s := stamps.Stamp{Origin: unitPid, Index: int64(i + 1)}
+		switch obj := obj.(type) {
+		case *types.Tycon:
+			obj.Stamp = s
+		case *env.Structure:
+			obj.Stamp = s
+		case *env.Functor:
+			obj.Stamp = s
+		}
+	}
+}
+
+// external reports whether a stamped object belongs to another unit.
+func (p *Pickler) external(s stamps.Stamp) bool {
+	if s.IsProvisional() {
+		return false
+	}
+	return s.Origin != p.ownPid
+}
+
+// stamp writes a stamp, alpha-converting provisional ones. owner is
+// recorded for later permanent assignment.
+func (p *Pickler) stamp(s stamps.Stamp, owner any) {
+	if s.IsProvisional() {
+		n, ok := p.alpha[s]
+		if !ok {
+			n = int64(len(p.provisional) + 1)
+			p.alpha[s] = n
+			if owner != nil {
+				p.provisional = append(p.provisional, owner)
+			}
+		}
+		if p.rawStamps {
+			n = s.Index // ablation: leak the generator counter
+		}
+		p.w.byteVal(stampAlpha)
+		p.w.varint(n)
+		return
+	}
+	p.w.byteVal(stampPerm)
+	p.w.pid(s.Origin)
+	p.w.varint(s.Index)
+}
+
+// begin handles the shared memo/stub protocol. It returns true when the
+// caller must write the object body.
+func (p *Pickler) begin(obj any, s stamps.Stamp, stamped bool) bool {
+	if id, ok := p.seen[obj]; ok {
+		p.w.byteVal(tagBackref)
+		p.w.uvarint(id)
+		return false
+	}
+	if stamped && p.external(s) {
+		p.w.byteVal(tagStub)
+		p.w.pid(s.Origin)
+		p.w.varint(s.Index)
+		return false
+	}
+	p.w.byteVal(tagInline)
+	p.nextID++
+	p.seen[obj] = p.nextID
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Environments and bindings
+// ---------------------------------------------------------------------
+
+// Env writes one environment layer (parents are intentionally dropped:
+// after compilation only local lookup is ever performed on pickled
+// environments).
+func (p *Pickler) Env(e *env.Env) {
+	if e == nil {
+		p.w.byteVal(tagNil)
+		return
+	}
+	if !p.begin(e, stamps.Stamp{}, false) {
+		return
+	}
+	order := e.Order()
+	p.w.int(len(order))
+	for _, ent := range order {
+		p.w.byteVal(byte(ent.NS))
+		p.w.string(ent.Name)
+		switch ent.NS {
+		case env.NSVal:
+			vb, _ := e.LocalVal(ent.Name)
+			p.ValBind(vb)
+		case env.NSTycon:
+			tc, _ := e.LocalTycon(ent.Name)
+			p.Tycon(tc)
+		case env.NSStr:
+			sb, _ := e.LocalStr(ent.Name)
+			p.StrBind(sb)
+		case env.NSSig:
+			sb, _ := e.LocalSig(ent.Name)
+			p.SigBind(sb)
+		case env.NSFct:
+			fb, _ := e.LocalFct(ent.Name)
+			p.Functor(fb.Fct)
+		}
+	}
+}
+
+// ValBind writes a value binding (by value: bindings have no identity).
+func (p *Pickler) ValBind(vb *env.ValBind) {
+	p.Scheme(vb.Scheme)
+	if vb.Con != nil {
+		p.w.bool(true)
+		p.DataCon(vb.Con)
+	} else {
+		p.w.bool(false)
+	}
+	p.w.int(vb.Slot)
+	p.w.pid(vb.ExportPid)
+	p.w.string(vb.Prim)
+	p.w.int(len(vb.Overload))
+	for _, tc := range vb.Overload {
+		p.Tycon(tc)
+	}
+}
+
+// StrBind writes a structure binding.
+func (p *Pickler) StrBind(sb *env.StrBind) {
+	p.Structure(sb.Str)
+	p.w.int(sb.Slot)
+	p.w.pid(sb.ExportPid)
+}
+
+// SigBind writes a signature binding: name, definition AST, closure.
+func (p *Pickler) SigBind(sb *env.SigBind) {
+	p.w.string(sb.Name)
+	p.SigExp(sb.Def)
+	p.Env(sb.Closure)
+}
+
+// Structure writes a structure object (stub if external).
+func (p *Pickler) Structure(s *env.Structure) {
+	if !p.begin(s, s.Stamp, true) {
+		return
+	}
+	p.stamp(s.Stamp, s)
+	p.w.int(s.NumSlots)
+	p.Env(s.Env)
+}
+
+// Functor writes a functor object (stub if external).
+func (p *Pickler) Functor(f *env.Functor) {
+	if !p.begin(f, f.Stamp, true) {
+		return
+	}
+	p.stamp(f.Stamp, f)
+	p.w.string(f.Name)
+	p.w.string(f.ParamName)
+	p.SigExp(f.ParamSig)
+	if f.ResultSig != nil {
+		p.w.bool(true)
+		p.SigExp(f.ResultSig)
+	} else {
+		p.w.bool(false)
+	}
+	p.w.bool(f.Opaque)
+	p.StrExp(f.Body)
+	p.Env(f.Closure)
+}
+
+// ---------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------
+
+// Tycon writes a type constructor (stub if external; cycles through
+// constructor types are broken by the memo registration order).
+func (p *Pickler) Tycon(tc *types.Tycon) {
+	if !p.begin(tc, tc.Stamp, true) {
+		return
+	}
+	p.stamp(tc.Stamp, tc)
+	p.w.string(tc.Name)
+	p.w.int(tc.Arity)
+	p.w.byteVal(byte(tc.Kind))
+	p.w.bool(tc.Eq)
+	switch tc.Kind {
+	case types.KindAbbrev:
+		p.TyFun(tc.Abbrev)
+	case types.KindData:
+		p.w.int(len(tc.Cons))
+		for _, dc := range tc.Cons {
+			p.DataCon(dc)
+		}
+	}
+}
+
+// DataCon writes a data constructor by value (its identity is carried
+// by its tycon).
+func (p *Pickler) DataCon(dc *types.DataCon) {
+	if !p.begin(dc, stamps.Stamp{}, false) {
+		return
+	}
+	p.w.string(dc.Name)
+	p.Scheme(dc.Scheme)
+	p.w.bool(dc.HasArg)
+	p.w.int(dc.Tag)
+	p.w.int(dc.Span)
+	p.w.bool(dc.IsExn)
+	if dc.Tycon != nil {
+		p.w.bool(true)
+		p.Tycon(dc.Tycon)
+	} else {
+		p.w.bool(false)
+	}
+}
+
+// Scheme writes a type scheme (memoized: schemes are shared by `open`
+// copies and constructor bindings).
+func (p *Pickler) Scheme(s *types.Scheme) {
+	if !p.begin(s, stamps.Stamp{}, false) {
+		return
+	}
+	p.w.int(s.Arity)
+	p.w.int(len(s.EqFlags))
+	for _, f := range s.EqFlags {
+		p.w.bool(f)
+	}
+	p.Ty(s.Body)
+}
+
+// TyFun writes a type function.
+func (p *Pickler) TyFun(f *types.TyFun) {
+	if !p.begin(f, stamps.Stamp{}, false) {
+		return
+	}
+	p.w.int(f.Arity)
+	p.Ty(f.Body)
+}
+
+// Type node tags.
+const (
+	tyBound = iota
+	tyCon
+	tyRecord
+	tyArrow
+)
+
+// Ty writes a type term. Unresolved unification variables must not
+// survive to pickling; encountering one is an error.
+func (p *Pickler) Ty(t types.Ty) {
+	switch t := types.Prune(t).(type) {
+	case *types.Bound:
+		p.w.byteVal(tyBound)
+		p.w.int(t.Index)
+	case *types.Con:
+		p.w.byteVal(tyCon)
+		p.Tycon(t.Tycon)
+		p.w.int(len(t.Args))
+		for _, a := range t.Args {
+			p.Ty(a)
+		}
+	case *types.Record:
+		p.w.byteVal(tyRecord)
+		p.w.int(len(t.Labels))
+		for i, l := range t.Labels {
+			p.w.string(l)
+			p.Ty(t.Types[i])
+		}
+	case *types.Arrow:
+		p.w.byteVal(tyArrow)
+		p.Ty(t.From)
+		p.Ty(t.To)
+	case *types.Var:
+		if len(t.Overload) > 0 {
+			// Default leftover overloading during pickling, mirroring
+			// the elaborator's end-of-unit defaulting.
+			t.Link = &types.Con{Tycon: t.Overload[0]}
+			p.Ty(t.Link)
+			return
+		}
+		p.w.error("pickle: free type variable survived elaboration")
+	default:
+		p.w.error("pickle: unknown type node %T", t)
+	}
+}

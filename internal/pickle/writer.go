@@ -1,0 +1,179 @@
+// Package pickle implements dehydration and rehydration of static
+// environments (§4 of the paper) and the canonical byte stream hashed
+// to produce intrinsic pids (§5).
+//
+// Dehydration is a prefix-order traversal of the export environment.
+// "Significant" objects — tycons, structures, functors, environments,
+// schemes — are memoized by pointer, so DAG sharing is written once and
+// back-referenced afterwards (avoiding the exponential blow-up of a
+// naive tree copy). Objects whose stamp originates in a *different*
+// unit are written as stubs: just their stamp. Rehydration replaces
+// each stub with the real in-core object found by stamp lookup in an
+// indexed context environment built from the importing session's
+// already-loaded units.
+//
+// Stamps are written in alpha-converted form: a stamp still provisional
+// (created by the compilation being pickled) is encoded as its ordinal
+// among provisional stamps encountered in the traversal — the paper's
+// "uses n for the nth distinct pid seen". This is what makes the hash
+// of an interface independent of the compiler's internal stamp counter,
+// so that recompiling an unchanged source yields an unchanged hash
+// (cutoff recompilation), and it is also the order in which permanent
+// stamps are assigned afterwards.
+package pickle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/pid"
+	"repro/internal/stamps"
+)
+
+// writer provides the low-level encoding (all integers varint).
+type writer struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	n   int // bytes written
+	err error
+}
+
+func (w *writer) error(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(b)
+	w.n += n
+	if err != nil {
+		w.err = err
+	}
+}
+
+func (w *writer) byteVal(b byte) { w.bytes([]byte{b}) }
+
+func (w *writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.bytes(w.buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.bytes(w.buf[:n])
+}
+
+func (w *writer) int(v int) { w.varint(int64(v)) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.byteVal(1)
+	} else {
+		w.byteVal(0)
+	}
+}
+
+func (w *writer) string(s string) {
+	w.uvarint(uint64(len(s)))
+	w.bytes([]byte(s))
+}
+
+func (w *writer) float64(f float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	w.bytes(b[:])
+}
+
+func (w *writer) pid(p pid.Pid) { w.bytes(p[:]) }
+
+// reader is the decoding counterpart.
+type reader struct {
+	r   io.ByteReader
+	err error
+}
+
+func (r *reader) error(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	if err != nil {
+		r.err = err
+		return 0
+	}
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = err
+		return 0
+	}
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = err
+		return 0
+	}
+	return v
+}
+
+func (r *reader) int() int   { return int(r.varint()) }
+func (r *reader) bool() bool { return r.byteVal() != 0 }
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.err != nil || n > 1<<22 {
+		r.error("pickle: string too long")
+		return ""
+	}
+	var b []byte
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		b = append(b, r.byteVal())
+	}
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) float64() float64 {
+	var b [8]byte
+	for i := range b {
+		b[i] = r.byteVal()
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (r *reader) pid() pid.Pid {
+	var p pid.Pid
+	for i := range p {
+		p[i] = r.byteVal()
+	}
+	return p
+}
+
+func (r *reader) stamp() stamps.Stamp {
+	return stamps.Stamp{Origin: r.pid(), Index: r.varint()}
+}

@@ -1,0 +1,215 @@
+// Package pid implements persistent identifiers (§5 of the paper):
+// 128-bit values used to designate exported entities across separately
+// compiled units, and the CRC-128 hash used to compute *intrinsic* pids
+// from exported static environments.
+//
+// An intrinsic pid is a hash of the exported interface, so two modules
+// with identical interfaces get identical pids — which is exactly what
+// makes cutoff recompilation work, and what makes the collision analysis
+// matter: with 2^13 pids in a system there are about 2^25 pairs, so the
+// probability of any collision of 128-bit hashes is about 2^-102.
+package pid
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the pid width in bytes (128 bits, per §5).
+const Size = 16
+
+// Pid is a 128-bit persistent identifier.
+type Pid [Size]byte
+
+// Zero is the all-zero pid, used as the provisional marker for entities
+// whose permanent pid has not yet been computed.
+var Zero Pid
+
+// IsZero reports whether the pid is the provisional zero value.
+func (p Pid) IsZero() bool { return p == Zero }
+
+// String renders the pid as 32 hex digits.
+func (p Pid) String() string { return hex.EncodeToString(p[:]) }
+
+// Short renders the leading 8 hex digits, for compact diagnostics.
+func (p Pid) Short() string { return hex.EncodeToString(p[:4]) }
+
+// Parse decodes a 32-hex-digit pid.
+func Parse(s string) (Pid, error) {
+	var p Pid
+	if len(s) != 2*Size {
+		return p, fmt.Errorf("pid: bad length %d", len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return p, fmt.Errorf("pid: %v", err)
+	}
+	copy(p[:], b)
+	return p, nil
+}
+
+// Plus returns the pid obtained by adding n to the pid interpreted as a
+// little-endian 128-bit integer. The paper derives the k dynamic export
+// pids of a unit from the unit's static pid "by adding 1 through k";
+// this is that derivation.
+func (p Pid) Plus(n uint64) Pid {
+	var q Pid
+	lo := binary.LittleEndian.Uint64(p[0:8])
+	hi := binary.LittleEndian.Uint64(p[8:16])
+	lo2 := lo + n
+	if lo2 < lo {
+		hi++
+	}
+	binary.LittleEndian.PutUint64(q[0:8], lo2)
+	binary.LittleEndian.PutUint64(q[8:16], hi)
+	return q
+}
+
+// Compare orders pids bytewise.
+func (p Pid) Compare(q Pid) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case p[i] < q[i]:
+			return -1
+		case p[i] > q[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// CRC-128
+// ---------------------------------------------------------------------
+
+// The hash is a CRC over GF(2) with a 128-bit register. The generator
+// polynomial (below, sans the leading x^128 term) is a low-weight
+// polynomial in the style of the standard CRC generators; the paper only
+// requires "a good hash function (a CRC of 128 bits)". The register is
+// additionally pre- and post-whitened so that leading zero bytes are
+// significant.
+//
+// poly = x^128 + x^77 + x^35 + x^11 + x^7 + x^2 + x + 1
+var polyHi, polyLo = computePoly()
+
+func computePoly() (hi, lo uint64) {
+	for _, bit := range []uint{77, 35, 11, 7, 2, 1, 0} {
+		if bit >= 64 {
+			hi |= 1 << (bit - 64)
+		} else {
+			lo |= 1 << bit
+		}
+	}
+	return
+}
+
+// crcTable[b] is the effect of shifting byte b through the register.
+var crcTable = buildTable()
+
+func buildTable() [256][2]uint64 {
+	var table [256][2]uint64
+	for b := 0; b < 256; b++ {
+		// Place the byte at the top of the 128-bit register.
+		hi := uint64(b) << 56
+		lo := uint64(0)
+		for bit := 0; bit < 8; bit++ {
+			msb := hi&(1<<63) != 0
+			hi = hi<<1 | lo>>63
+			lo <<= 1
+			if msb {
+				hi ^= polyHi
+				lo ^= polyLo
+			}
+		}
+		table[b] = [2]uint64{hi, lo}
+	}
+	return table
+}
+
+// Hasher computes a CRC-128 incrementally. The zero value is not ready
+// for use; call NewHasher.
+type Hasher struct {
+	hi, lo uint64
+	n      uint64 // bytes written, mixed into the final sum
+}
+
+// NewHasher returns a hasher with the whitened initial register.
+func NewHasher() *Hasher {
+	return &Hasher{hi: 0x6a09e667f3bcc908, lo: 0xbb67ae8584caa73b}
+}
+
+// Write absorbs p; it never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	hi, lo := h.hi, h.lo
+	for _, b := range p {
+		top := byte(hi >> 56)
+		hi = hi<<8 | lo>>56
+		lo <<= 8
+		e := crcTable[top^b]
+		hi ^= e[0]
+		lo ^= e[1]
+	}
+	h.hi, h.lo = hi, lo
+	h.n += uint64(len(p))
+	return len(p), nil
+}
+
+// WriteUint64 absorbs v in little-endian framing.
+func (h *Hasher) WriteUint64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+// WriteString absorbs s with a length prefix, so that concatenation
+// ambiguity cannot produce colliding streams.
+func (h *Hasher) WriteString(s string) {
+	h.WriteUint64(uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+// fmix64 is the 64-bit finalizer of MurmurHash3: a bijection on uint64
+// with strong avalanche.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Sum finalizes the register into a pid. The hasher remains usable; Sum
+// does not reset it.
+//
+// The CRC register itself has weak diffusion into the high bits for
+// short inputs (the generator polynomial is sparse), so the register is
+// passed through a bijective 128-bit finalizer: distinctness of
+// register states is preserved exactly, while truncations of the
+// output become uniform (which the §5 birthday analysis relies on).
+func (h *Hasher) Sum() Pid {
+	// Fold in the length on a copy, then whiten.
+	c := *h
+	c.WriteUint64(c.n)
+	hi, lo := c.hi, c.lo
+	// Three Feistel rounds: each xors one half with a mix of the other,
+	// so the whole transform is invertible (collision-free).
+	lo ^= fmix64(hi)
+	hi ^= fmix64(lo)
+	lo ^= fmix64(hi)
+	var p Pid
+	binary.BigEndian.PutUint64(p[0:8], hi)
+	binary.BigEndian.PutUint64(p[8:16], lo)
+	return p
+}
+
+// HashBytes hashes a byte slice in one call.
+func HashBytes(b []byte) Pid {
+	h := NewHasher()
+	h.Write(b)
+	return h.Sum()
+}
+
+// HashString hashes a string in one call.
+func HashString(s string) Pid { return HashBytes([]byte(s)) }

@@ -1,0 +1,189 @@
+package pid
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := HashString("hello world")
+	b := HashString("hello world")
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == HashString("hello worlD") {
+		t.Error("single-bit-ish change collided")
+	}
+}
+
+func TestLengthFraming(t *testing.T) {
+	// Concatenation ambiguity must not collide: ("ab","c") vs ("a","bc").
+	h1 := NewHasher()
+	h1.WriteString("ab")
+	h1.WriteString("c")
+	h2 := NewHasher()
+	h2.WriteString("a")
+	h2.WriteString("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Error("length framing failed")
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	if HashBytes([]byte{0}) == HashBytes([]byte{0, 0}) {
+		t.Error("leading zeros not significant")
+	}
+	if HashBytes(nil) == HashBytes([]byte{0}) {
+		t.Error("empty vs zero byte collided")
+	}
+}
+
+func TestIncrementalEqualsOneShot(t *testing.T) {
+	h := NewHasher()
+	h.Write([]byte("abc"))
+	h.Write([]byte("defghij"))
+	if h.Sum() != HashBytes([]byte("abcdefghij")) {
+		t.Error("incremental hashing differs from one-shot")
+	}
+}
+
+func TestSumDoesNotReset(t *testing.T) {
+	h := NewHasher()
+	h.Write([]byte("abc"))
+	s1 := h.Sum()
+	s2 := h.Sum()
+	if s1 != s2 {
+		t.Error("Sum is not idempotent")
+	}
+	h.Write([]byte("d"))
+	if h.Sum() == s1 {
+		t.Error("writes after Sum ignored")
+	}
+}
+
+func TestPlus(t *testing.T) {
+	var p Pid
+	q := p.Plus(1)
+	if q == p {
+		t.Error("Plus(1) = identity")
+	}
+	if q.Plus(2) != p.Plus(3) {
+		t.Error("Plus not additive")
+	}
+	// Carry across the low word.
+	var max Pid
+	for i := 0; i < 8; i++ {
+		max[i] = 0xff
+	}
+	carried := max.Plus(1)
+	if carried[8] != 1 {
+		t.Errorf("carry failed: %v", carried)
+	}
+	for i := 0; i < 8; i++ {
+		if carried[i] != 0 {
+			t.Errorf("low word not zero after carry: %v", carried)
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	p := HashString("roundtrip")
+	q, err := Parse(p.String())
+	if err != nil || q != p {
+		t.Errorf("parse(%s) = %s, %v", p, q, err)
+	}
+	if _, err := Parse("zz"); err == nil {
+		t.Error("bad pid accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := HashString("a")
+	if a.Compare(a) != 0 {
+		t.Error("self-compare nonzero")
+	}
+	b := HashString("b")
+	if a.Compare(b) == 0 {
+		t.Error("distinct pids compare equal")
+	}
+	if a.Compare(b) != -b.Compare(a) {
+		t.Error("compare not antisymmetric")
+	}
+}
+
+// TestBirthday is the paper's §5 collision analysis, empirically: hash
+// 2^13 distinct inputs, truncate to 16 bits, and check the collision
+// count is in the birthday-statistics ballpark (≈ n²/2 / 2^16 ≈ 512 for
+// n = 2^13). A CRC with poor mixing would be far off.
+func TestBirthday(t *testing.T) {
+	const n = 1 << 13
+	const bits = 16
+	counts := map[uint32]int{}
+	for i := 0; i < n; i++ {
+		p := HashString(fmt.Sprintf("interface-%d", i))
+		key := uint32(p[0])<<8 | uint32(p[1])
+		counts[key]++
+	}
+	collisions := 0
+	for _, c := range counts {
+		collisions += c - 1
+	}
+	// Expected ≈ 506; allow a generous band.
+	if collisions < 300 || collisions > 800 {
+		t.Errorf("16-bit truncated collisions = %d, want ≈500 (poor mixing?)", collisions)
+	}
+	// Full 128-bit hashes must all be distinct at this scale.
+	full := map[Pid]bool{}
+	for i := 0; i < n; i++ {
+		full[HashString(fmt.Sprintf("interface-%d", i))] = true
+	}
+	if len(full) != n {
+		t.Errorf("full-width collision among %d inputs", n)
+	}
+}
+
+// Property: distinct byte strings (almost surely) hash differently, and
+// hashing is a pure function.
+func TestQuickHash(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ha, hb := HashBytes(a), HashBytes(b)
+		if string(a) == string(b) {
+			return ha == hb
+		}
+		return ha != hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Plus is injective over small offsets.
+func TestQuickPlusInjective(t *testing.T) {
+	f := func(seed string, a, b uint16) bool {
+		p := HashString(seed)
+		if a == b {
+			return p.Plus(uint64(a)) == p.Plus(uint64(b))
+		}
+		return p.Plus(uint64(a)) != p.Plus(uint64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShort(t *testing.T) {
+	p := HashString("x")
+	if len(p.Short()) != 8 || len(p.String()) != 32 {
+		t.Error("rendering lengths")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero not zero")
+	}
+	if HashString("").IsZero() {
+		t.Error("hash of empty string is zero (whitening broken)")
+	}
+}

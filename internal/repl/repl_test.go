@@ -1,0 +1,183 @@
+package repl
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+var osWriteFile = os.WriteFile
+
+func newREPL(t *testing.T) (*REPL, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	r, err := New(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, &out
+}
+
+func TestEvalBindings(t *testing.T) {
+	r, _ := newREPL(t)
+	res, err := r.Eval("val x = 40 + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res, "val x = 42 : int") {
+		t.Errorf("output %q", res)
+	}
+}
+
+func TestSessionAccumulates(t *testing.T) {
+	r, _ := newREPL(t)
+	if _, err := r.Eval("val base = 10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Eval("fun scale n = n * base"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Eval("val v = scale 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res, "val v = 50 : int") {
+		t.Errorf("output %q", res)
+	}
+}
+
+func TestEvalShowsTypes(t *testing.T) {
+	r, _ := newREPL(t)
+	res, err := r.Eval("fun id x = x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res, "'a -> 'a") {
+		t.Errorf("polymorphic type not shown: %q", res)
+	}
+}
+
+func TestEvalModules(t *testing.T) {
+	r, _ := newREPL(t)
+	res, err := r.Eval("structure M = struct val x = 1 end signature S = sig end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res, "structure M") || !strings.Contains(res, "signature S") {
+		t.Errorf("output %q", res)
+	}
+}
+
+func TestEvalErrorRecovery(t *testing.T) {
+	r, _ := newREPL(t)
+	if _, err := r.Eval("val bad = 1 + true"); err == nil {
+		t.Fatal("type error not reported")
+	}
+	// The session survives the error.
+	res, err := r.Eval("val ok = 1")
+	if err != nil || !strings.Contains(res, "val ok = 1") {
+		t.Errorf("session broken after error: %v %q", err, res)
+	}
+}
+
+func TestInteractLoop(t *testing.T) {
+	r, out := newREPL(t)
+	input := strings.NewReader("val a = 1;\nfun f x =\nx + a;\nf 4;\nquit;\n")
+	var ui bytes.Buffer
+	if err := r.Interact(input, &ui); err != nil {
+		t.Fatal(err)
+	}
+	s := ui.String()
+	if !strings.Contains(s, "val a = 1 : int") {
+		t.Errorf("first binding missing: %q", s)
+	}
+	if !strings.Contains(s, "int -> int") {
+		t.Errorf("multi-line fun missing: %q", s)
+	}
+	_ = out
+}
+
+func TestInteractPrintGoesToStdout(t *testing.T) {
+	r, out := newREPL(t)
+	input := strings.NewReader("val _ = print \"side effect\\n\";\nquit;\n")
+	var ui bytes.Buffer
+	if err := r.Interact(input, &ui); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "side effect") {
+		t.Errorf("print output %q", out.String())
+	}
+}
+
+func TestBareExpressionBindsIt(t *testing.T) {
+	r, _ := newREPL(t)
+	if _, err := r.Eval("fun fact 0 = 1 | fact n = n * fact (n - 1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Eval("fact 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res, "val it = 3628800 : int") {
+		t.Errorf("output %q", res)
+	}
+	// `it` remains usable.
+	res, err = r.Eval("it + 1")
+	if err != nil || !strings.Contains(res, "val it = 3628801 : int") {
+		t.Errorf("chained it: %v %q", err, res)
+	}
+	// Original error is preserved when the expression retry also fails.
+	if _, err := r.Eval("val bad = "); err == nil {
+		t.Error("syntax error swallowed")
+	}
+}
+
+func TestUseDirective(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/lib.sml"
+	if err := writeTempFile(path, "fun quadruple n = 4 * n\n"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := newREPL(t)
+	input := strings.NewReader("use \"" + path + "\";\nquadruple 10;\nquit;\n")
+	var ui bytes.Buffer
+	if err := r.Interact(input, &ui); err != nil {
+		t.Fatal(err)
+	}
+	s := ui.String()
+	if !strings.Contains(s, "[use "+path+"]") {
+		t.Errorf("use banner missing: %q", s)
+	}
+	if !strings.Contains(s, "val it = 40 : int") {
+		t.Errorf("loaded function unusable: %q", s)
+	}
+	// Missing file is an error, not a crash.
+	input = strings.NewReader("use \"/nonexistent.sml\";\nquit;\n")
+	ui.Reset()
+	if err := r.Interact(input, &ui); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ui.String(), "error:") {
+		t.Errorf("missing file not reported: %q", ui.String())
+	}
+}
+
+func writeTempFile(path, contents string) error {
+	return osWriteFile(path, []byte(contents), 0o644)
+}
+
+func TestDatatypeInREPL(t *testing.T) {
+	r, _ := newREPL(t)
+	res, err := r.Eval("datatype color = Red | Blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res, "type color") || !strings.Contains(res, "con Red") {
+		t.Errorf("output %q", res)
+	}
+	res, err = r.Eval("val c = Blue")
+	if err != nil || !strings.Contains(res, "val c = Blue : color") {
+		t.Errorf("constructor value: %v %q", err, res)
+	}
+}

@@ -1,0 +1,71 @@
+// Package stamps implements the per-object identity stamps of §4 of the
+// paper. Every "significant" object of the static environment — a type
+// constructor, structure, signature, or functor — carries a stamp.
+// Stamps serve three roles:
+//
+//  1. sharing keys during pickling (dehydration), so a DAG-shaped
+//     environment is written once per shared node instead of blowing up
+//     exponentially;
+//  2. the identity by which the rehydrater finds the real in-core object
+//     to substitute for a stub (an external reference);
+//  3. generative type identity: two datatype declarations, however
+//     textually identical, have distinct tycons because they have
+//     distinct stamps.
+//
+// A stamp is provisional while its origin pid is zero; after a unit's
+// export interface has been hashed, the compiler rewrites provisional
+// stamps to permanent ones derived from the unit's intrinsic pid (§5:
+// "these provisional pids are replaced with pids derived from the
+// hash"). Stamps imported from other units are already permanent and
+// are never rewritten.
+package stamps
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pid"
+)
+
+// Stamp identifies a significant static-environment object. Origin is
+// the intrinsic pid of the unit that created the object (zero while
+// provisional); Index is unique within the origin.
+type Stamp struct {
+	Origin pid.Pid
+	Index  int64
+}
+
+// IsProvisional reports whether the stamp has not yet been made
+// permanent.
+func (s Stamp) IsProvisional() bool { return s.Origin.IsZero() }
+
+// String renders the stamp for diagnostics.
+func (s Stamp) String() string {
+	if s.IsProvisional() {
+		return fmt.Sprintf("?%d", s.Index)
+	}
+	return fmt.Sprintf("%s.%d", s.Origin.Short(), s.Index)
+}
+
+// Key renders the stamp as a map key string (full origin).
+func (s Stamp) Key() string {
+	return fmt.Sprintf("%s.%d", s.Origin, s.Index)
+}
+
+// Gen allocates provisional stamps. Each compilation uses a fresh Gen so
+// that provisional indices are meaningful ("the nth entity created by
+// this compilation"), but the generator is also safe for concurrent use.
+type Gen struct {
+	next int64
+}
+
+// NewGen returns a generator whose first stamp has index 1.
+func NewGen() *Gen { return &Gen{} }
+
+// Fresh allocates the next provisional stamp.
+func (g *Gen) Fresh() Stamp {
+	return Stamp{Index: atomic.AddInt64(&g.next, 1)}
+}
+
+// Count returns how many stamps have been allocated.
+func (g *Gen) Count() int64 { return atomic.LoadInt64(&g.next) }

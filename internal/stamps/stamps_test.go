@@ -1,0 +1,71 @@
+package stamps
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pid"
+)
+
+func TestFreshDistinct(t *testing.T) {
+	g := NewGen()
+	seen := map[Stamp]bool{}
+	for i := 0; i < 1000; i++ {
+		s := g.Fresh()
+		if seen[s] {
+			t.Fatalf("duplicate stamp %s", s)
+		}
+		seen[s] = true
+		if !s.IsProvisional() {
+			t.Fatalf("fresh stamp not provisional: %s", s)
+		}
+	}
+	if g.Count() != 1000 {
+		t.Errorf("count = %d", g.Count())
+	}
+}
+
+func TestPermanentStamp(t *testing.T) {
+	s := Stamp{Origin: pid.HashString("unit"), Index: 3}
+	if s.IsProvisional() {
+		t.Error("stamped origin is provisional")
+	}
+	if s.Key() == (Stamp{Origin: pid.HashString("unit"), Index: 4}).Key() {
+		t.Error("keys collide across indices")
+	}
+	if s.Key() == (Stamp{Origin: pid.HashString("other"), Index: 3}).Key() {
+		t.Error("keys collide across origins")
+	}
+}
+
+func TestConcurrentFresh(t *testing.T) {
+	g := NewGen()
+	var wg sync.WaitGroup
+	out := make(chan Stamp, 1000)
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				out <- g.Fresh()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := map[Stamp]bool{}
+	for s := range out {
+		if seen[s] {
+			t.Fatal("concurrent duplicate")
+		}
+		seen[s] = true
+	}
+}
+
+func TestString(t *testing.T) {
+	g := NewGen()
+	s := g.Fresh()
+	if s.String() != "?1" {
+		t.Errorf("provisional rendering %q", s.String())
+	}
+}

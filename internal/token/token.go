@@ -1,0 +1,199 @@
+// Package token defines the lexical tokens of the Standard ML subset
+// accepted by this compiler, together with source positions.
+//
+// The token vocabulary follows the Definition of Standard ML (Milner,
+// Tofte, Harper, MacQueen): alphanumeric and symbolic identifiers,
+// reserved words of the core and module languages, and the special
+// constants (integer, word, real, character, string).
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The order groups literals, identifiers, reserved words of
+// the core language, reserved words of the module language, and
+// punctuation.
+const (
+	EOF Kind = iota
+	ERROR
+
+	// Literals.
+	INT    // 42, ~7, 0x1f
+	WORD   // 0w13, 0wx1f
+	REAL   // 3.14, 1e9, ~2.5e~3
+	STRING // "abc"
+	CHAR   // #"a"
+
+	// Identifiers.
+	IDENT // alphanumeric identifier: foo, foo', x_1
+	SYMID // symbolic identifier: + - ^ :: >=
+	TYVAR // 'a, ''eq
+
+	// Core reserved words.
+	ABSTYPE
+	AND
+	ANDALSO
+	AS
+	CASE
+	DATATYPE
+	DO
+	ELSE
+	END
+	EXCEPTION
+	FN
+	FUN
+	HANDLE
+	IF
+	IN
+	INFIX
+	INFIXR
+	LET
+	LOCAL
+	NONFIX
+	OF
+	OP
+	OPEN
+	ORELSE
+	RAISE
+	REC
+	THEN
+	TYPE
+	VAL
+	WHILE
+	WITH
+	WITHTYPE
+
+	// Module reserved words.
+	EQTYPE
+	FUNCTOR
+	INCLUDE
+	SHARING
+	SIG
+	SIGNATURE
+	STRUCT
+	STRUCTURE
+	WHERE
+
+	// Punctuation and reserved symbols.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	LBRACE    // {
+	RBRACE    // }
+	COMMA     // ,
+	COLON     // :
+	COLONGT   // :>
+	SEMI      // ;
+	DOTDOTDOT // ...
+	UNDERBAR  // _
+	BAR       // |
+	EQUALS    // =
+	DARROW    // =>
+	ARROW     // ->
+	HASH      // #
+	ASTERISK  // *  (reserved in type expressions; also a symbolic id)
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", ERROR: "error",
+	INT: "integer literal", WORD: "word literal", REAL: "real literal",
+	STRING: "string literal", CHAR: "character literal",
+	IDENT: "identifier", SYMID: "symbolic identifier", TYVAR: "type variable",
+	ABSTYPE: "abstype", AND: "and", ANDALSO: "andalso", AS: "as",
+	CASE: "case", DATATYPE: "datatype", DO: "do", ELSE: "else", END: "end",
+	EXCEPTION: "exception", FN: "fn", FUN: "fun", HANDLE: "handle",
+	IF: "if", IN: "in", INFIX: "infix", INFIXR: "infixr", LET: "let",
+	LOCAL: "local", NONFIX: "nonfix", OF: "of", OP: "op", OPEN: "open",
+	ORELSE: "orelse", RAISE: "raise", REC: "rec", THEN: "then",
+	TYPE: "type", VAL: "val", WHILE: "while", WITH: "with",
+	WITHTYPE: "withtype",
+	EQTYPE:   "eqtype", FUNCTOR: "functor", INCLUDE: "include",
+	SHARING: "sharing", SIG: "sig", SIGNATURE: "signature",
+	STRUCT: "struct", STRUCTURE: "structure", WHERE: "where",
+	LPAREN: "(", RPAREN: ")", LBRACKET: "[", RBRACKET: "]",
+	LBRACE: "{", RBRACE: "}", COMMA: ",", COLON: ":", COLONGT: ":>",
+	SEMI: ";", DOTDOTDOT: "...", UNDERBAR: "_", BAR: "|", EQUALS: "=",
+	DARROW: "=>", ARROW: "->", HASH: "#", ASTERISK: "*",
+}
+
+// String returns a human-readable name for the kind, for diagnostics.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// reserved maps reserved alphanumeric words to their kinds.
+var reserved = map[string]Kind{
+	"abstype": ABSTYPE, "and": AND, "andalso": ANDALSO, "as": AS,
+	"case": CASE, "datatype": DATATYPE, "do": DO, "else": ELSE,
+	"end": END, "exception": EXCEPTION, "fn": FN, "fun": FUN,
+	"handle": HANDLE, "if": IF, "in": IN, "infix": INFIX,
+	"infixr": INFIXR, "let": LET, "local": LOCAL, "nonfix": NONFIX,
+	"of": OF, "op": OP, "open": OPEN, "orelse": ORELSE, "raise": RAISE,
+	"rec": REC, "then": THEN, "type": TYPE, "val": VAL, "while": WHILE,
+	"with": WITH, "withtype": WITHTYPE,
+	"eqtype": EQTYPE, "functor": FUNCTOR, "include": INCLUDE,
+	"sharing": SHARING, "sig": SIG, "signature": SIGNATURE,
+	"struct": STRUCT, "structure": STRUCTURE, "where": WHERE,
+}
+
+// reservedSym maps reserved symbolic sequences to their kinds. Symbolic
+// identifiers that exactly match one of these are reserved; longer
+// symbolic identifiers containing them (e.g. "==") are ordinary SYMIDs.
+var reservedSym = map[string]Kind{
+	":": COLON, ":>": COLONGT, "|": BAR, "=": EQUALS, "=>": DARROW,
+	"->": ARROW, "#": HASH,
+}
+
+// Lookup classifies an alphanumeric identifier, returning the reserved
+// kind if the word is reserved and IDENT otherwise.
+func Lookup(word string) Kind {
+	if k, ok := reserved[word]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// LookupSym classifies a symbolic identifier, returning the reserved
+// kind if the symbol sequence is reserved and SYMID otherwise.
+func LookupSym(sym string) Kind {
+	if k, ok := reservedSym[sym]; ok {
+		return k
+	}
+	return SYMID
+}
+
+// Pos is a source position: byte offset, 1-based line and column.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // literal source text (for identifiers and literals)
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, SYMID, TYVAR, INT, WORD, REAL, STRING, CHAR, ERROR:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

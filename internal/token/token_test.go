@@ -1,0 +1,60 @@
+package token
+
+import "testing"
+
+func TestLookupReserved(t *testing.T) {
+	cases := map[string]Kind{
+		"val": VAL, "fun": FUN, "datatype": DATATYPE, "end": END,
+		"structure": STRUCTURE, "signature": SIGNATURE, "functor": FUNCTOR,
+		"withtype": WITHTYPE, "abstype": ABSTYPE, "where": WHERE,
+		"foo": IDENT, "Val": IDENT, "val'": IDENT,
+	}
+	for word, want := range cases {
+		if got := Lookup(word); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", word, got, want)
+		}
+	}
+}
+
+func TestLookupSym(t *testing.T) {
+	cases := map[string]Kind{
+		"=": EQUALS, "=>": DARROW, "->": ARROW, "|": BAR,
+		":": COLON, ":>": COLONGT, "#": HASH,
+		"==": SYMID, "+": SYMID, "::": SYMID, "->>": SYMID,
+	}
+	for sym, want := range cases {
+		if got := LookupSym(sym); got != want {
+			t.Errorf("LookupSym(%q) = %v, want %v", sym, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if VAL.String() != "val" || EOF.String() != "end of file" {
+		t.Error("kind rendering")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind rendering empty")
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Offset: 10, Line: 2, Col: 3}
+	if p.String() != "2:3" || !p.IsValid() {
+		t.Error("pos rendering")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos valid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Text: "foo"}
+	if tok.String() != `identifier "foo"` {
+		t.Errorf("token rendering %q", tok.String())
+	}
+	tok = Token{Kind: LPAREN, Text: "("}
+	if tok.String() != "(" {
+		t.Errorf("punct rendering %q", tok.String())
+	}
+}
