@@ -490,6 +490,51 @@ func BenchmarkE9IRMScale(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Corruption recovery: cost of detecting, quarantining, and
+// recompiling k damaged bin files out of a ~40-unit cached project.
+// ---------------------------------------------------------------------
+
+func BenchmarkCorruptionRecovery(b *testing.B) {
+	cfg := workload.Config{
+		Shape: workload.Layered, Units: 40, LinesPerUnit: 30,
+		FunsPerUnit: 3, FanIn: 2, LayerWidth: 5, Seed: 11,
+	}
+	p := workload.Generate(cfg)
+	for _, k := range []int{1, 4, 16} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, err := core.NewDirStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cold := core.NewManager()
+				cold.Store = store
+				if _, err := cold.Build(p.Files); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := workload.CorruptStore(store.Dir, k, workload.FlipBin, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+				m := core.NewManager()
+				m.Store = store
+				b.StartTimer()
+				if _, err := m.Build(p.Files); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if m.Stats.Recovered != k {
+					b.Fatalf("recovered %d entries, want %d", m.Stats.Recovered, k)
+				}
+				b.ReportMetric(float64(m.Stats.Recovered), "recovered")
+				b.ReportMetric(float64(m.Stats.Loaded), "loaded")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
 // Ablation: alpha conversion of provisional stamps before hashing
 // ---------------------------------------------------------------------
 

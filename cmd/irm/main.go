@@ -117,8 +117,8 @@ func cmdBuild(args []string) {
 		fatal(err)
 	}
 	st := m.Stats
-	fmt.Printf("%s: %d units — parsed %d, compiled %d, loaded %d, cutoffs %d\n",
-		group.Name, st.Units, st.Parsed, st.Compiled, st.Loaded, st.Cutoffs)
+	fmt.Printf("%s: %d units — parsed %d, compiled %d, loaded %d, cutoffs %d, corrupt %d, recovered %d\n",
+		group.Name, st.Units, st.Parsed, st.Compiled, st.Loaded, st.Cutoffs, st.Corrupt, st.Recovered)
 	fmt.Printf("  compile %v, hash %v, pickle %v, load %v, exec %v\n",
 		st.CompileTime, st.HashTime, st.PickleTime, st.LoadTime, st.ExecTime)
 }

@@ -59,8 +59,8 @@ func main() {
 	}
 	if *verbose {
 		st := m.Stats
-		fmt.Fprintf(os.Stderr, "units=%d compiled=%d loaded=%d cutoffs=%d\n",
-			st.Units, st.Compiled, st.Loaded, st.Cutoffs)
+		fmt.Fprintf(os.Stderr, "units=%d compiled=%d loaded=%d cutoffs=%d corrupt=%d recovered=%d\n",
+			st.Units, st.Compiled, st.Loaded, st.Cutoffs, st.Corrupt, st.Recovered)
 	}
 }
 

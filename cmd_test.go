@@ -118,6 +118,66 @@ func TestCommandLineTools(t *testing.T) {
 		}
 	})
 
+	t.Run("irm-corrupt-recovery", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "lib.sml"), "structure Lib = struct fun triple n = 3 * n end\n")
+		writeFile(t, filepath.Join(dir, "main.sml"), `val _ = print (Int.toString (Lib.triple 14) ^ "\n")`+"\n")
+		groupPath := filepath.Join(dir, "prog.cm")
+		writeFile(t, groupPath, "lib.sml\nmain.sml\n")
+		store := filepath.Join(dir, "store")
+
+		out, err := runTool(t, tools["irm"], "", "build", groupPath, "-store", store)
+		if err != nil {
+			t.Fatalf("irm build: %v\n%s", err, out)
+		}
+		// Damage one cached entry; the next build must report recovery.
+		writeFile(t, filepath.Join(store, "lib.sml.bin"), "garbage")
+		out, err = runTool(t, tools["irm"], "", "build", groupPath, "-store", store)
+		if err != nil {
+			t.Fatalf("irm recovery build: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "corrupt 1, recovered 1") {
+			t.Errorf("recovery build stats: %q", out)
+		}
+	})
+
+	t.Run("irm-concurrent-builds", func(t *testing.T) {
+		// Two irm processes on one store must serialize via the lockfile:
+		// both exit 0 and the cache they leave is complete and clean.
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "lib.sml"), "structure Lib = struct fun triple n = 3 * n end\n")
+		writeFile(t, filepath.Join(dir, "main.sml"), `val _ = print (Int.toString (Lib.triple 14) ^ "\n")`+"\n")
+		groupPath := filepath.Join(dir, "prog.cm")
+		writeFile(t, groupPath, "lib.sml\nmain.sml\n")
+		store := filepath.Join(dir, "store")
+
+		type result struct {
+			out string
+			err error
+		}
+		results := make(chan result, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				cmd := exec.Command(tools["irm"], "build", groupPath, "-store", store)
+				out, err := cmd.CombinedOutput()
+				results <- result{string(out), err}
+			}()
+		}
+		for i := 0; i < 2; i++ {
+			r := <-results
+			if r.err != nil {
+				t.Fatalf("concurrent irm build: %v\n%s", r.err, r.out)
+			}
+		}
+		out, err := runTool(t, tools["irm"], "", "build", groupPath, "-store", store)
+		if err != nil {
+			t.Fatalf("irm null build after race: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "compiled 0, loaded 2") || !strings.Contains(out, "corrupt 0") {
+			t.Errorf("cache inconsistent after concurrent builds: %q", out)
+		}
+	})
+
 	t.Run("irm-deps-and-collision", func(t *testing.T) {
 		groupPath := filepath.Join(work, "prog.cm")
 		out, err := runTool(t, tools["irm"], "", "deps", groupPath)

@@ -1,0 +1,42 @@
+package binfile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/pickle"
+)
+
+// FuzzBinfileRead: rehydrating arbitrary bytes must never panic. (A
+// mutated bin can decode into a structurally valid unit; the linker's
+// type-safe linkage is the layer that rejects semantic corruption.)
+func FuzzBinfileRead(f *testing.F) {
+	var sink bytes.Buffer
+	s, err := compiler.NewSession(&sink)
+	if err != nil {
+		f.Fatal(err)
+	}
+	u, err := s.Run("seed", `
+		structure V = struct
+		  datatype t = A | B of int
+		  fun f (B n) = n | f A = 0
+		  val r = {tag = "v", num = 3}
+		end
+	`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := Encode(u)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(append([]byte(Magic), 0xFF, 0x00, 0x7F))
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Read(data, pickle.NewIndex())
+	})
+}

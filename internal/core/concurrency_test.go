@@ -1,0 +1,142 @@
+// Concurrent-access coverage: parallel Manager.Build runs sharing one
+// on-disk store must serialize through the advisory lock and leave a
+// consistent cache — run under -race.
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// buildWorker runs n builds alternating between two source versions.
+func buildWorker(t *testing.T, store core.Store, rounds int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for i := 0; i < rounds; i++ {
+		src := aV1
+		if i%2 == 1 {
+			src = "(* gen *) " + aV1
+		}
+		m := core.NewManager()
+		m.Store = store
+		if _, err := m.Build(chainFiles(src)); err != nil {
+			t.Errorf("concurrent build: %v", err)
+			return
+		}
+	}
+}
+
+// TestConcurrentBuildsSharedStore: goroutines sharing one *DirStore
+// serialize on its in-process mutex.
+func TestConcurrentBuildsSharedStore(t *testing.T) {
+	store, err := core.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.LockTimeout = 30 * time.Second
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go buildWorker(t, store, 3, &wg)
+	}
+	wg.Wait()
+	assertConsistentCache(t, store.Dir)
+}
+
+// TestConcurrentBuildsSeparateStores: distinct *DirStore instances
+// over one directory (two "processes") serialize via the lockfile.
+func TestConcurrentBuildsSeparateStores(t *testing.T) {
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		store, err := core.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.LockTimeout = 30 * time.Second
+		wg.Add(1)
+		go buildWorker(t, store, 3, &wg)
+	}
+	wg.Wait()
+	assertConsistentCache(t, dir)
+}
+
+// assertConsistentCache rebuilds both source versions over the store:
+// no entry may be torn (zero corruption), and the cache must converge
+// to all-loaded for whichever version it ends on.
+func assertConsistentCache(t *testing.T, dir string) {
+	t.Helper()
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager()
+	m.Store = store
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Corrupt != 0 {
+		t.Errorf("cache left %d torn entries after concurrent builds", m.Stats.Corrupt)
+	}
+	m2 := core.NewManager()
+	m2.Store = store
+	if _, err := m2.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats.Loaded != 3 || m2.Stats.Corrupt != 0 {
+		t.Errorf("cache did not converge: loaded=%d corrupt=%d, want 3/0",
+			m2.Stats.Loaded, m2.Stats.Corrupt)
+	}
+}
+
+// TestConcurrentWorkloadBuilds stresses the lock with a larger
+// generated project and live edits from two sides.
+func TestConcurrentWorkloadBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-build stress")
+	}
+	p := workload.Generate(workload.Small())
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		g := g
+		store, err := core.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.LockTimeout = 60 * time.Second
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				files := p.Files
+				if i%2 == 1 {
+					files = p.Edit(g, workload.ImplEdit, i)
+				}
+				m := core.NewManager()
+				m.Store = store
+				if _, err := m.Build(files); err != nil {
+					t.Errorf("workload build (worker %d round %d): %v", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager()
+	m.Store = store
+	if _, err := m.Build(p.Files); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Corrupt != 0 {
+		t.Errorf("workload cache left %d torn entries", m.Stats.Corrupt)
+	}
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -68,10 +69,45 @@ type Entry struct {
 }
 
 // Store is the bin-file cache.
+//
+// Load distinguishes three outcomes: (entry, nil) is a hit, (nil, nil)
+// means no entry exists for the unit, and (nil, err) means an entry
+// exists but could not be trusted — a *CorruptError when it failed
+// validation, any other error for I/O trouble. The Manager treats
+// every error as a cache miss and recompiles; corruption is never
+// silently linked.
 type Store interface {
-	Load(name string) (*Entry, bool)
+	Load(name string) (*Entry, error)
 	Save(name string, e *Entry) error
 }
+
+// Locker is implemented by stores that serialize whole builds — the
+// Manager brackets Build with Lock when available, so concurrent
+// managers (in-process or cross-process) cannot interleave writes.
+type Locker interface {
+	// Lock blocks until the store is held, returning the release
+	// function, or fails after the store's lock timeout.
+	Lock() (release func(), err error)
+}
+
+// CorruptError reports a cache entry that exists but failed
+// validation: torn write, bit rot, truncation, or a forged trailer.
+type CorruptError struct {
+	Name        string // unit name
+	Path        string // on-disk location, if any
+	Quarantined string // where the corpse was preserved, "" if dropped
+	Err         error  // the validation failure
+}
+
+func (e *CorruptError) Error() string {
+	if e.Quarantined != "" {
+		return fmt.Sprintf("irm: corrupt entry for %s (quarantined to %s): %v",
+			e.Name, e.Quarantined, e.Err)
+	}
+	return fmt.Sprintf("irm: corrupt entry for %s: %v", e.Name, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
 
 // MemStore is an in-memory store (used by tests and benches).
 type MemStore struct {
@@ -82,9 +118,8 @@ type MemStore struct {
 func NewMemStore() *MemStore { return &MemStore{m: map[string]*Entry{}} }
 
 // Load implements Store.
-func (s *MemStore) Load(name string) (*Entry, bool) {
-	e, ok := s.m[name]
-	return e, ok
+func (s *MemStore) Load(name string) (*Entry, error) {
+	return s.m[name], nil
 }
 
 // Save implements Store.
@@ -104,6 +139,10 @@ type Stats struct {
 	Loaded   int // units rehydrated from bin files
 	Cutoffs  int // recompilations whose interface hash was unchanged
 	Executed int // units executed
+
+	Corrupt    int // cache entries detected as corrupt (quarantined)
+	Recovered  int // units recompiled because their entry was corrupt
+	SaveErrors int // bin saves that failed (the build continues uncached)
 
 	ParseTime   time.Duration
 	CompileTime time.Duration
@@ -147,6 +186,17 @@ func (m *Manager) logf(format string, args ...any) {
 func (m *Manager) Build(files []File) (*compiler.Session, error) {
 	m.Stats = Stats{Units: len(files)}
 
+	// Serialize whole builds when the store supports locking: two
+	// managers over one store (goroutines or processes) must not
+	// interleave their writes.
+	if l, ok := m.Store.(Locker); ok {
+		release, err := l.Lock()
+		if err != nil {
+			return nil, fmt.Errorf("irm: acquiring store lock: %v", err)
+		}
+		defer release()
+	}
+
 	session, err := compiler.NewSession(m.Stdout)
 	if err != nil {
 		return nil, err
@@ -156,10 +206,23 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 	infos := make([]*depend.Info, len(files))
 	entries := make(map[string]*Entry, len(files))
 	srcHashes := make(map[string]pid.Pid, len(files))
+	corrupt := make(map[string]bool)
 	for i, f := range files {
 		h := pid.HashString(f.Source)
 		srcHashes[f.Name] = h
-		if e, ok := m.Store.Load(f.Name); ok {
+		e, lerr := m.Store.Load(f.Name)
+		if lerr != nil {
+			// A corrupt (or unreadable) entry is a cache miss, never a
+			// fatal error and never linked: the unit recompiles below.
+			var ce *CorruptError
+			if errors.As(lerr, &ce) {
+				m.Stats.Corrupt++
+				corrupt[f.Name] = true
+			}
+			m.logf("[%s] %s: cache entry unusable (%v); will recompile",
+				m.Policy, f.Name, lerr)
+		}
+		if e != nil {
 			entries[f.Name] = e
 			if e.SrcHash == h {
 				// Unchanged source: dependency info comes from the cache
@@ -236,6 +299,10 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 				m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, u.StatPid.Short())
 				continue
 			}
+			// The entry passed store validation but its bin failed to
+			// rehydrate — corruption caught by the inner format layer.
+			m.Stats.Corrupt++
+			corrupt[name] = true
 			m.logf("[%s] %s: bin reload failed (%v); recompiling", m.Policy, name, err)
 		}
 
@@ -247,6 +314,11 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 			return nil, err
 		}
 		m.Stats.Compiled++
+		if corrupt[name] {
+			// The unit's cache entry was corrupt and the rebuild
+			// succeeded: the store healed itself by recompilation.
+			m.Stats.Recovered++
+		}
 
 		// Attribute the hashing cost separately (E3's measurement).
 		t1 := time.Now()
@@ -288,7 +360,12 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 			Free:     info.Free,
 			Bin:      bin,
 		}); err != nil {
-			return nil, fmt.Errorf("%s: saving bin: %v", name, err)
+			// A failed save (ENOSPC, permissions) costs only future
+			// incrementality — the unit is already compiled, executed,
+			// and in scope, so the build itself proceeds.
+			m.Stats.SaveErrors++
+			m.logf("[%s] %s: saving bin failed (%v); continuing uncached",
+				m.Policy, name, err)
 		}
 	}
 	return session, nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -243,6 +245,95 @@ func TestDiamondDependency(t *testing.T) {
 	if m.Stats.Compiled != 1 || m.Stats.Loaded != 3 {
 		t.Fatalf("diamond impl edit: compiled=%d loaded=%d, want 1/3",
 			m.Stats.Compiled, m.Stats.Loaded)
+	}
+}
+
+// entryFixture is a representative entry for format tests.
+func entryFixture() *Entry {
+	e := &Entry{
+		DepNames: []string{"a", "b"},
+		Defs:     []string{"s:A"},
+		Free:     []string{"v:x", "t:t"},
+		Bin:      []byte{1, 2, 3},
+	}
+	e.SrcHash[3] = 7
+	e.StatPid[0] = 9
+	e.DepPids = append(e.DepPids, e.SrcHash, e.StatPid)
+	return e
+}
+
+// encodeEntryV1 reproduces the legacy SMLIRM01 encoding (no trailer)
+// for read-compatibility tests.
+func encodeEntryV1(e *Entry) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(entryMagicV1)
+	appendEntryBody(&buf, e)
+	return buf.Bytes()
+}
+
+// TestEntryV1ReadCompat: entries written by the previous format
+// version still load.
+func TestEntryV1ReadCompat(t *testing.T) {
+	e := entryFixture()
+	out, err := DecodeEntry(encodeEntryV1(e))
+	if err != nil {
+		t.Fatalf("decoding V1 entry: %v", err)
+	}
+	if out.SrcHash != e.SrcHash || out.StatPid != e.StatPid ||
+		len(out.DepNames) != 2 || len(out.Bin) != 3 {
+		t.Fatalf("V1 round trip mismatch: %+v", out)
+	}
+}
+
+// TestEntryChecksumDetectsFlips: any single-byte change to a V2 entry
+// fails validation (the trailer covers magic and body; a flip inside
+// the trailer itself mismatches the recomputed sum).
+func TestEntryChecksumDetectsFlips(t *testing.T) {
+	data := EncodeEntry(entryFixture())
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := DecodeEntry(mut); err == nil {
+			t.Fatalf("flip at byte %d/%d accepted", i, len(data))
+		}
+	}
+}
+
+// TestEntryTruncationRejected: every proper prefix fails validation.
+func TestEntryTruncationRejected(t *testing.T) {
+	data := EncodeEntry(entryFixture())
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeEntry(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d accepted", cut, len(data))
+		}
+	}
+}
+
+// TestEntryTrailingJunkRejected: extra bytes after the bin payload are
+// an error in both format versions (V2 additionally fails the CRC).
+func TestEntryTrailingJunkRejected(t *testing.T) {
+	v1 := append(encodeEntryV1(entryFixture()), 0xEE)
+	if _, err := DecodeEntry(v1); err == nil {
+		t.Error("V1 entry with trailing junk accepted")
+	}
+	v2 := append(EncodeEntry(entryFixture()), 0xEE)
+	if _, err := DecodeEntry(v2); err == nil {
+		t.Error("V2 entry with trailing junk accepted")
+	}
+}
+
+// TestDecodeEntryBoundsAllocations: a forged huge length field must be
+// rejected outright (not trigger a giant allocation attempt).
+func TestDecodeEntryBoundsAllocations(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(entryMagicV1)
+	var zero [32]byte // SrcHash + StatPid
+	buf.Write(zero[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], 1<<60) // absurd DepNames count
+	buf.Write(n[:])
+	if _, err := DecodeEntry(buf.Bytes()); err == nil {
+		t.Fatal("absurd count accepted")
 	}
 }
 

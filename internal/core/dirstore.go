@@ -3,26 +3,70 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc64"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/pid"
 )
 
 // DirStore persists Entries as ".bin" files in a directory — the
 // paper's on-disk bin files plus the IRM's dependency metadata.
+//
+// The store is crash-safe and self-healing:
+//
+//   - Save is atomic: the entry is written to a temp file in the same
+//     directory, fsynced, renamed over the target, and the directory is
+//     fsynced — a crash at any point leaves either the old entry or the
+//     new one, never a torn file under the real name.
+//   - Every entry carries a CRC-64 trailer (format SMLIRM02). Load
+//     verifies it, so torn or bit-rotted files are detected, moved to a
+//     "quarantine/" subdirectory for post-mortem, and reported as a
+//     *CorruptError — the Manager recompiles, it never links garbage.
+//   - Lock serializes whole builds across goroutines and processes via
+//     an O_CREAT|O_EXCL lockfile with stale-lock takeover.
 type DirStore struct {
 	Dir string
+	// FS is the filesystem the store talks to; nil means the real one.
+	// internal/faultfs substitutes a fault-injecting implementation.
+	FS FS
+
+	// LockTimeout bounds how long Lock waits for a competing holder
+	// (default 1 minute). LockStaleAfter is the age past which a
+	// lockfile is presumed abandoned even when its owner cannot be
+	// probed (default 10 minutes).
+	LockTimeout    time.Duration
+	LockStaleAfter time.Duration
+
+	mu  sync.Mutex    // in-process half of the advisory lock
+	seq atomic.Uint64 // temp-file uniquifier
 }
 
 // NewDirStore returns a store rooted at dir, creating it if needed.
 func NewDirStore(dir string) (*DirStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewDirStoreFS(dir, OSFS{})
+}
+
+// NewDirStoreFS is NewDirStore over an explicit filesystem.
+func NewDirStoreFS(dir string, fsys FS) (*DirStore, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DirStore{Dir: dir}, nil
+	return &DirStore{Dir: dir, FS: fsys}, nil
+}
+
+func (s *DirStore) fs() FS {
+	if s.FS == nil {
+		return OSFS{}
+	}
+	return s.FS
 }
 
 // path maps a unit name to its bin path (the paper's ".d.foo.sml"
@@ -32,30 +76,114 @@ func (s *DirStore) path(name string) string {
 	return filepath.Join(s.Dir, safe+".bin")
 }
 
-// Load implements Store.
-func (s *DirStore) Load(name string) (*Entry, bool) {
-	data, err := os.ReadFile(s.path(name))
-	if err != nil {
-		return nil, false
-	}
-	e, err := DecodeEntry(data)
-	if err != nil {
-		return nil, false
-	}
-	return e, true
+// QuarantineDir is where corrupt entries are preserved.
+func (s *DirStore) QuarantineDir() string {
+	return filepath.Join(s.Dir, "quarantine")
 }
 
-// Save implements Store.
+// Load implements Store: (nil, nil) when absent, *CorruptError when an
+// entry exists but fails validation (the file is quarantined first).
+func (s *DirStore) Load(name string) (*Entry, error) {
+	path := s.path(name)
+	data, err := s.fs().ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	e, derr := DecodeEntry(data)
+	if derr != nil {
+		q := s.quarantine(path)
+		return nil, &CorruptError{Name: name, Path: path, Quarantined: q, Err: derr}
+	}
+	return e, nil
+}
+
+// quarantine moves a corrupt bin file aside so it can never be re-read
+// as a cache entry, returning the destination ("" if the corpse could
+// not be preserved and was removed instead).
+func (s *DirStore) quarantine(path string) string {
+	fsys := s.fs()
+	qdir := s.QuarantineDir()
+	if err := fsys.MkdirAll(qdir, 0o755); err != nil {
+		fsys.Remove(path)
+		return ""
+	}
+	base := filepath.Base(path)
+	for i := 0; i < 1000; i++ {
+		dst := filepath.Join(qdir, base)
+		if i > 0 {
+			dst = fmt.Sprintf("%s.%d", dst, i)
+		}
+		if _, err := fsys.Stat(dst); err == nil {
+			continue // occupied by an earlier corpse
+		}
+		if err := fsys.Rename(path, dst); err == nil {
+			return dst
+		}
+		break
+	}
+	fsys.Remove(path)
+	return ""
+}
+
+// Save implements Store with the atomic-rename protocol: temp file in
+// the same directory, fsync, rename, fsync the directory.
 func (s *DirStore) Save(name string, e *Entry) error {
-	return os.WriteFile(s.path(name), EncodeEntry(e), 0o644)
+	fsys := s.fs()
+	data := EncodeEntry(e)
+	path := s.path(name)
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), s.seq.Add(1))
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(s.Dir)
 }
 
-const entryMagic = "SMLIRM01"
+// Entry format versions. V2 appends a CRC-64 trailer over everything
+// that precedes it; V1 (no trailer) is still read for compatibility.
+const (
+	entryMagicV1 = "SMLIRM01"
+	entryMagic   = "SMLIRM02"
+	crcTrailer   = 8
+)
 
-// EncodeEntry serializes a cache entry.
+var entryCRC = crc64.MakeTable(crc64.ECMA)
+
+// EncodeEntry serializes a cache entry in the current (SMLIRM02)
+// format: magic, body, CRC-64/ECMA trailer over magic+body.
 func EncodeEntry(e *Entry) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(entryMagic)
+	appendEntryBody(&buf, e)
+	var tr [crcTrailer]byte
+	binary.LittleEndian.PutUint64(tr[:], crc64.Checksum(buf.Bytes(), entryCRC))
+	buf.Write(tr[:])
+	return buf.Bytes()
+}
+
+// appendEntryBody writes the version-independent entry body.
+func appendEntryBody(buf *bytes.Buffer, e *Entry) {
 	buf.Write(e.SrcHash[:])
 	buf.Write(e.StatPid[:])
 	writeStrings := func(ss []string) {
@@ -80,19 +208,39 @@ func EncodeEntry(e *Entry) []byte {
 	binary.LittleEndian.PutUint64(n[:], uint64(len(e.Bin)))
 	buf.Write(n[:])
 	buf.Write(e.Bin)
-	return buf.Bytes()
 }
 
-// DecodeEntry deserializes a cache entry.
+// DecodeEntry deserializes a cache entry, validating the CRC-64
+// trailer of SMLIRM02 entries and accepting legacy SMLIRM01 entries
+// without one. Every length field is bounds-checked against the bytes
+// actually remaining, so arbitrary input can neither panic nor force
+// large allocations.
 func DecodeEntry(data []byte) (*Entry, error) {
-	if len(data) < len(entryMagic) || string(data[:len(entryMagic)]) != entryMagic {
+	var body []byte
+	switch {
+	case len(data) >= len(entryMagic) && string(data[:len(entryMagic)]) == entryMagic:
+		if len(data) < len(entryMagic)+crcTrailer {
+			return nil, fmt.Errorf("irm: entry too short for checksum trailer")
+		}
+		sum := binary.LittleEndian.Uint64(data[len(data)-crcTrailer:])
+		if crc64.Checksum(data[:len(data)-crcTrailer], entryCRC) != sum {
+			return nil, fmt.Errorf("irm: entry checksum mismatch")
+		}
+		body = data[len(entryMagic) : len(data)-crcTrailer]
+	case len(data) >= len(entryMagicV1) && string(data[:len(entryMagicV1)]) == entryMagicV1:
+		body = data[len(entryMagicV1):]
+	default:
 		return nil, fmt.Errorf("irm: bad entry magic")
 	}
-	r := bytes.NewReader(data[len(entryMagic):])
+	return decodeEntryBody(body)
+}
+
+func decodeEntryBody(body []byte) (*Entry, error) {
+	r := bytes.NewReader(body)
 	e := &Entry{}
 	readPid := func() (pid.Pid, error) {
 		var p pid.Pid
-		_, err := r.Read(p[:])
+		_, err := io.ReadFull(r, p[:])
 		return p, err
 	}
 	var err error
@@ -104,24 +252,26 @@ func DecodeEntry(data []byte) (*Entry, error) {
 	}
 	readU64 := func() (uint64, error) {
 		var b [8]byte
-		if _, err := r.Read(b[:]); err != nil {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint64(b[:]), nil
 	}
 	readStrings := func() ([]string, error) {
 		n, err := readU64()
-		if err != nil || n > 1<<24 {
+		// Each string costs at least its 8-byte length prefix, so the
+		// count can never exceed the remaining bytes / 8.
+		if err != nil || n > uint64(r.Len())/8 {
 			return nil, fmt.Errorf("irm: bad string count")
 		}
 		out := make([]string, n)
 		for i := range out {
 			m, err := readU64()
-			if err != nil || m > 1<<24 {
+			if err != nil || m > uint64(r.Len()) {
 				return nil, fmt.Errorf("irm: bad string length")
 			}
 			b := make([]byte, m)
-			if _, err := r.Read(b); err != nil {
+			if _, err := io.ReadFull(r, b); err != nil {
 				return nil, err
 			}
 			out[i] = string(b)
@@ -132,7 +282,7 @@ func DecodeEntry(data []byte) (*Entry, error) {
 		return nil, err
 	}
 	np, err := readU64()
-	if err != nil || np > 1<<24 {
+	if err != nil || np > uint64(r.Len())/pid.Size {
 		return nil, fmt.Errorf("irm: bad pid count")
 	}
 	e.DepPids = make([]pid.Pid, np)
@@ -148,11 +298,13 @@ func DecodeEntry(data []byte) (*Entry, error) {
 		return nil, err
 	}
 	nb, err := readU64()
-	if err != nil || nb > 1<<32 {
+	// The bin is the final field: it must consume the rest exactly, so
+	// truncations and trailing junk are both rejected.
+	if err != nil || nb != uint64(r.Len()) {
 		return nil, fmt.Errorf("irm: bad bin length")
 	}
 	e.Bin = make([]byte, nb)
-	if _, err := r.Read(e.Bin); err != nil && nb > 0 {
+	if _, err := io.ReadFull(r, e.Bin); err != nil && nb > 0 {
 		return nil, err
 	}
 	return e, nil

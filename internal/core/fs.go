@@ -1,0 +1,68 @@
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the filesystem primitives DirStore performs, one method
+// per distinct durability-relevant operation, so that fault-injection
+// harnesses (internal/faultfs) can intercept every write point of the
+// atomic-save and locking protocols.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	// OpenFile opens for writing; DirStore always passes
+	// O_WRONLY|O_CREATE and either O_EXCL (temp files, lockfiles) or
+	// O_TRUNC.
+	OpenFile(path string, flag int, perm os.FileMode) (FileHandle, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	Stat(path string) (os.FileInfo, error)
+	ReadDir(dir string) ([]os.DirEntry, error)
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(dir string) error
+}
+
+// FileHandle is the writable-file surface DirStore needs.
+type FileHandle interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(path string, flag int, perm os.FileMode) (FileHandle, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Stat implements FS.
+func (OSFS) Stat(path string) (os.FileInfo, error) { return os.Stat(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -69,10 +70,30 @@ func TestDirStoreCorruptEntryIgnored(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "a.sml.bin"), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := store.Load("a.sml"); ok {
+	e, err := store.Load("a.sml")
+	if e != nil {
 		t.Error("corrupt entry loaded")
 	}
-	// A build over the corrupt cache falls back to compiling.
+	var ce *core.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Load error = %v, want *CorruptError", err)
+	}
+	if ce.Quarantined == "" {
+		t.Error("corrupt entry not quarantined")
+	}
+	if _, serr := os.Stat(ce.Quarantined); serr != nil {
+		t.Errorf("quarantined corpse missing: %v", serr)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "a.sml.bin")); !os.IsNotExist(serr) {
+		t.Error("corrupt bin still present under its cache name")
+	}
+	// A build over the corrupt cache falls back to compiling and
+	// records the recovery. The corrupt file was already quarantined by
+	// the Load above, so the build itself sees a plain miss; re-plant
+	// the garbage to exercise the Manager's own accounting.
+	if err := os.WriteFile(filepath.Join(dir, "a.sml.bin"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	m := core.NewManager()
 	m.Store = store
 	if _, err := m.Build(chainFiles(aV1)); err != nil {
@@ -80,6 +101,9 @@ func TestDirStoreCorruptEntryIgnored(t *testing.T) {
 	}
 	if m.Stats.Compiled != 3 {
 		t.Errorf("compiled %d with corrupt cache", m.Stats.Compiled)
+	}
+	if m.Stats.Corrupt != 1 || m.Stats.Recovered != 1 {
+		t.Errorf("corrupt=%d recovered=%d, want 1/1", m.Stats.Corrupt, m.Stats.Recovered)
 	}
 }
 

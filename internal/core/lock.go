@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// lockFileName is the advisory lockfile guarding a DirStore directory.
+const lockFileName = ".irm.lock"
+
+const (
+	defaultLockTimeout    = time.Minute
+	defaultLockStaleAfter = 10 * time.Minute
+	lockPollInterval      = 5 * time.Millisecond
+)
+
+func (s *DirStore) lockTimeout() time.Duration {
+	if s.LockTimeout > 0 {
+		return s.LockTimeout
+	}
+	return defaultLockTimeout
+}
+
+func (s *DirStore) lockStaleAfter() time.Duration {
+	if s.LockStaleAfter > 0 {
+		return s.LockStaleAfter
+	}
+	return defaultLockStaleAfter
+}
+
+// Lock implements Locker: it serializes builds over one store across
+// goroutines (an in-process mutex) and across processes (an
+// O_CREAT|O_EXCL lockfile recording the holder's pid). A lockfile
+// whose recorded process is dead, or that is older than
+// LockStaleAfter, is taken over.
+func (s *DirStore) Lock() (func(), error) {
+	s.mu.Lock()
+	fsys := s.fs()
+	lockPath := filepath.Join(s.Dir, lockFileName)
+	deadline := time.Now().Add(s.lockTimeout())
+	for {
+		f, err := fsys.OpenFile(lockPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "pid %d\n", os.Getpid())
+			f.Sync()
+			f.Close()
+			s.sweepTemps()
+			release := func() {
+				fsys.Remove(lockPath)
+				s.mu.Unlock()
+			}
+			return release, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if s.lockIsStale(lockPath) {
+			// Best-effort takeover; if a competitor removed and
+			// re-acquired first, the next O_EXCL attempt just fails and
+			// we keep polling.
+			fsys.Remove(lockPath)
+			continue
+		}
+		if time.Now().After(deadline) {
+			s.mu.Unlock()
+			holder, _ := fsys.ReadFile(lockPath)
+			return nil, fmt.Errorf("irm: store %s is locked (%s)",
+				s.Dir, strings.TrimSpace(string(holder)))
+		}
+		time.Sleep(lockPollInterval)
+	}
+}
+
+// lockIsStale reports whether the lockfile can be safely taken over:
+// its recorded owner process is gone, or it has outlived
+// LockStaleAfter (covering unreadable files and foreign hosts).
+func (s *DirStore) lockIsStale(lockPath string) bool {
+	fsys := s.fs()
+	if data, err := fsys.ReadFile(lockPath); err == nil {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(string(data)), "pid "); ok {
+			if pid, err := strconv.Atoi(strings.Fields(rest)[0]); err == nil {
+				if !processAlive(pid) {
+					return true
+				}
+			}
+		}
+	}
+	fi, err := fsys.Stat(lockPath)
+	if err != nil {
+		return false // vanished or unreadable: just retry the acquire
+	}
+	return time.Since(fi.ModTime()) > s.lockStaleAfter()
+}
+
+// processAlive probes a pid with signal 0. Only a definite "no such
+// process" counts as dead; permission errors and other failures are
+// treated as alive so we never steal a live lock.
+func processAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, os.ErrProcessDone) || errors.Is(err, syscall.ESRCH) {
+		return false
+	}
+	return true
+}
+
+// sweepTemps removes temp files abandoned by crashed writers. Called
+// only while holding the lock, when no save can be in flight.
+func (s *DirStore) sweepTemps() {
+	fsys := s.fs()
+	entries, err := fsys.ReadDir(s.Dir)
+	if err != nil {
+		return
+	}
+	for _, de := range entries {
+		if !de.IsDir() && strings.Contains(de.Name(), ".bin.tmp.") {
+			fsys.Remove(filepath.Join(s.Dir, de.Name()))
+		}
+	}
+}

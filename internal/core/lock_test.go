@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T) *DirStore {
+	t.Helper()
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLockAcquireRelease(t *testing.T) {
+	s := testStore(t)
+	release, err := s.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockPath := filepath.Join(s.Dir, lockFileName)
+	if _, err := os.Stat(lockPath); err != nil {
+		t.Fatalf("lockfile missing while held: %v", err)
+	}
+	release()
+	if _, err := os.Stat(lockPath); !os.IsNotExist(err) {
+		t.Fatal("lockfile survived release")
+	}
+	// Reacquirable after release.
+	release2, err := s.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+}
+
+func TestLockTimeoutAgainstLiveHolder(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := a.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	b, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.LockTimeout = 100 * time.Millisecond
+	if _, err := b.Lock(); err == nil {
+		t.Fatal("second store acquired a held lock")
+	}
+}
+
+func TestLockDeadPidTakeover(t *testing.T) {
+	s := testStore(t)
+	cmd := exec.Command("true")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	lockPath := filepath.Join(s.Dir, lockFileName)
+	if err := os.WriteFile(lockPath, []byte(fmt.Sprintf("pid %d\n", cmd.Process.Pid)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.LockTimeout = 5 * time.Second
+	start := time.Now()
+	release, err := s.Lock()
+	if err != nil {
+		t.Fatalf("takeover of dead holder's lock failed: %v", err)
+	}
+	release()
+	if time.Since(start) > 2*time.Second {
+		t.Error("dead-pid takeover was slow; should be near-immediate")
+	}
+}
+
+func TestLockMtimeStaleTakeover(t *testing.T) {
+	s := testStore(t)
+	lockPath := filepath.Join(s.Dir, lockFileName)
+	// Unparseable holder: only the mtime heuristic applies.
+	if err := os.WriteFile(lockPath, []byte("???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lockPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.LockStaleAfter = time.Minute
+	s.LockTimeout = 5 * time.Second
+	release, err := s.Lock()
+	if err != nil {
+		t.Fatalf("takeover of hour-old lock failed: %v", err)
+	}
+	release()
+}
+
+func TestLockSweepsAbandonedTemps(t *testing.T) {
+	s := testStore(t)
+	tmp := filepath.Join(s.Dir, "a.sml.bin.tmp.12345.1")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := s.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("abandoned temp file survived lock acquisition sweep")
+	}
+}

@@ -1,0 +1,517 @@
+// The robustness suite: every injected fault — a crash at each write
+// point of the save protocol, a torn write, a flipped bit, a full
+// disk — must end in a correct rebuild. A corrupt entry may cost a
+// recompilation; it may never be linked.
+package faultfs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/pid"
+)
+
+func chainFiles(aBody string) []core.File {
+	return []core.File{
+		{Name: "a.sml", Source: aBody},
+		{Name: "b.sml", Source: "structure B = struct val two = A.one + A.one end"},
+		{Name: "c.sml", Source: "structure C = struct val four = B.two + B.two end"},
+	}
+}
+
+const aV1 = "structure A = struct val one = 1 end"
+const aV1Impl = "structure A = struct val one = 2 - 1 end"
+
+func sessionPids(s *compiler.Session) []pid.Pid {
+	out := make([]pid.Pid, len(s.Units))
+	for i, u := range s.Units {
+		out[i] = u.StatPid
+	}
+	return out
+}
+
+// cleanPids builds files against a throwaway memory store and returns
+// the reference statpids a correct build must reproduce.
+func cleanPids(t *testing.T, files []core.File) []pid.Pid {
+	t.Helper()
+	m := core.NewManager()
+	s, err := m.Build(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sessionPids(s)
+}
+
+func samePids(a, b []pid.Pid) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildPristine fills dir with a cached build of files.
+func buildPristine(t *testing.T, dir string, files []core.File) {
+	t.Helper()
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager()
+	m.Store = store
+	if _, err := m.Build(files); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyStore clones a flat store directory into a fresh temp dir.
+func copyStore(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// entryFor loads one unit's entry or fails.
+func entryFor(t *testing.T, dir, name string) *core.Entry {
+	t.Helper()
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := store.Load(name)
+	if err != nil || e == nil {
+		t.Fatalf("loading %s: entry=%v err=%v", name, e, err)
+	}
+	return e
+}
+
+func sameEntry(a, b *core.Entry) bool {
+	return a.SrcHash == b.SrcHash && a.StatPid == b.StatPid && bytes.Equal(a.Bin, b.Bin)
+}
+
+// noTempsLeft asserts the store directory holds no abandoned temp
+// files (the under-lock sweep must have collected them).
+func noTempsLeft(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.Contains(de.Name(), ".tmp.") {
+			t.Errorf("abandoned temp file survived recovery: %s", de.Name())
+		}
+	}
+}
+
+// deadPid returns the pid of a process that has already exited.
+func deadPid(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning sacrificial process: %v", err)
+	}
+	cmd.Wait()
+	return cmd.Process.Pid
+}
+
+// TestCrashAtEverySavePoint enumerates a crash at each write point of
+// DirStore.Save and asserts the on-disk entry afterwards is exactly
+// the old one or exactly the new one — never a hybrid — and that a
+// full build over the survivor is correct.
+func TestCrashAtEverySavePoint(t *testing.T) {
+	pristine := t.TempDir()
+	buildPristine(t, pristine, chainFiles(aV1))
+	oldEntry := entryFor(t, pristine, "a.sml")
+
+	edited := chainFiles(aV1Impl)
+	editedDir := t.TempDir()
+	buildPristine(t, editedDir, edited)
+	newEntry := entryFor(t, editedDir, "a.sml")
+	wantPids := cleanPids(t, edited)
+
+	// Count the protocol's write points with injection disarmed.
+	ffs := faultfs.New(core.OSFS{})
+	counting := &core.DirStore{Dir: copyStore(t, pristine), FS: ffs}
+	if err := counting.Save("a.sml", newEntry); err != nil {
+		t.Fatal(err)
+	}
+	n := ffs.WritePoints()
+	if n < 6 {
+		t.Fatalf("save protocol has %d write points, want >= 6 (open, write, sync, close, rename, dirsync)", n)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		t.Run(fmt.Sprintf("crash-at-%d", i), func(t *testing.T) {
+			dir := copyStore(t, pristine)
+			ffs := faultfs.New(core.OSFS{})
+			ffs.Plan(faultfs.Crash, i)
+			st := &core.DirStore{Dir: dir, FS: ffs}
+			st.Save("a.sml", newEntry) // error expected at most points
+
+			// Post-crash state: exactly old or exactly new.
+			after, err := core.NewDirStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, lerr := after.Load("a.sml")
+			if lerr != nil || e == nil {
+				t.Fatalf("post-crash load: entry=%v err=%v (atomic rename must leave a valid entry)", e, lerr)
+			}
+			if !sameEntry(e, oldEntry) && !sameEntry(e, newEntry) {
+				t.Fatal("post-crash entry is neither the old nor the new one")
+			}
+
+			// Recovery build over the survivor must be correct.
+			m := core.NewManager()
+			m.Store = after
+			s, berr := m.Build(edited)
+			if berr != nil {
+				t.Fatal(berr)
+			}
+			if !samePids(sessionPids(s), wantPids) {
+				t.Fatal("recovered build produced wrong interfaces")
+			}
+			if m.Stats.Corrupt != 0 {
+				t.Errorf("crash produced a corrupt entry (%d); the atomic protocol must not", m.Stats.Corrupt)
+			}
+			noTempsLeft(t, dir)
+		})
+	}
+}
+
+// TestTornTempWriteKeepsOldEntry: a torn write hits the temp file, so
+// the entry under the real name stays byte-identical to the old one.
+func TestTornTempWriteKeepsOldEntry(t *testing.T) {
+	pristine := t.TempDir()
+	buildPristine(t, pristine, chainFiles(aV1))
+	oldEntry := entryFor(t, pristine, "a.sml")
+	editedDir := t.TempDir()
+	buildPristine(t, editedDir, chainFiles(aV1Impl))
+	newEntry := entryFor(t, editedDir, "a.sml")
+
+	dir := copyStore(t, pristine)
+	ffs := faultfs.New(core.OSFS{})
+	ffs.Plan(faultfs.Torn, 1) // the Write op of open,write,sync,close,rename,dirsync
+	st := &core.DirStore{Dir: dir, FS: ffs}
+	if err := st.Save("a.sml", newEntry); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	after, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, lerr := after.Load("a.sml")
+	if lerr != nil || e == nil || !sameEntry(e, oldEntry) {
+		t.Fatalf("after torn temp write, entry=%v err=%v, want the untouched old entry", e, lerr)
+	}
+}
+
+// TestTornFinalFileQuarantined simulates a non-atomic writer (or a
+// post-rename torn sector): half an entry under the real name. The CRC
+// trailer must catch it, quarantine it, and the build must recover.
+func TestTornFinalFileQuarantined(t *testing.T) {
+	pristine := t.TempDir()
+	buildPristine(t, pristine, chainFiles(aV1))
+	oldEntry := entryFor(t, pristine, "a.sml")
+	valid := core.EncodeEntry(oldEntry)
+
+	dir := copyStore(t, pristine)
+	if err := os.WriteFile(filepath.Join(dir, "a.sml.bin"), valid[:len(valid)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := chainFiles(aV1)
+	wantPids := cleanPids(t, files)
+	m := core.NewManager()
+	m.Store = store
+	s, err := m.Build(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Corrupt != 1 || m.Stats.Recovered != 1 {
+		t.Errorf("corrupt=%d recovered=%d, want 1/1", m.Stats.Corrupt, m.Stats.Recovered)
+	}
+	if !samePids(sessionPids(s), wantPids) {
+		t.Fatal("recovered build produced wrong interfaces")
+	}
+	corpses, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(corpses) != 1 {
+		t.Fatalf("quarantine holds %d corpses (err %v), want 1", len(corpses), err)
+	}
+}
+
+// TestBitFlipAtEveryWritePoint: a flipped bit during Save is silent at
+// write time. Enumerating every write point, exactly the data-carrying
+// Write op yields a corrupt (detected, quarantined, recovered) entry;
+// all other points leave the new entry intact. No point may yield a
+// silently accepted wrong entry.
+func TestBitFlipAtEveryWritePoint(t *testing.T) {
+	pristine := t.TempDir()
+	buildPristine(t, pristine, chainFiles(aV1))
+	edited := chainFiles(aV1Impl)
+	editedDir := t.TempDir()
+	buildPristine(t, editedDir, edited)
+	newEntry := entryFor(t, editedDir, "a.sml")
+	wantPids := cleanPids(t, edited)
+
+	ffs := faultfs.New(core.OSFS{})
+	counting := &core.DirStore{Dir: copyStore(t, pristine), FS: ffs}
+	if err := counting.Save("a.sml", newEntry); err != nil {
+		t.Fatal(err)
+	}
+	n := ffs.WritePoints()
+
+	corrupted := 0
+	for i := 0; i < n; i++ {
+		dir := copyStore(t, pristine)
+		ffs := faultfs.New(core.OSFS{})
+		ffs.Plan(faultfs.Flip, i)
+		st := &core.DirStore{Dir: dir, FS: ffs}
+		if err := st.Save("a.sml", newEntry); err != nil {
+			t.Fatalf("flip at %d: save errored (%v); bit rot must be silent", i, err)
+		}
+		// Build over the possibly-rotted store. A clean save loads the
+		// new entry; a rotted one must be detected by the CRC trailer,
+		// quarantined, and recompiled — and either way the resulting
+		// interfaces must be the correct ones.
+		after, err := core.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewManager()
+		m.Store = after
+		s, berr := m.Build(edited)
+		if berr != nil {
+			t.Fatalf("flip at %d: build failed: %v", i, berr)
+		}
+		if !samePids(sessionPids(s), wantPids) {
+			t.Fatalf("flip at %d: build produced wrong interfaces", i)
+		}
+		if m.Stats.Corrupt > 0 {
+			corrupted++
+			if m.Stats.Recovered != m.Stats.Corrupt {
+				t.Errorf("flip at %d: corrupt=%d recovered=%d, want equal",
+					i, m.Stats.Corrupt, m.Stats.Recovered)
+			}
+			corpses, qerr := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if qerr != nil || len(corpses) == 0 {
+				t.Errorf("flip at %d: corrupt entry not quarantined (err %v)", i, qerr)
+			}
+		} else if m.Stats.Loaded != len(edited) {
+			t.Errorf("flip at %d: clean save but loaded only %d/%d",
+				i, m.Stats.Loaded, len(edited))
+		}
+	}
+	if corrupted != 1 {
+		t.Errorf("%d write points yielded corruption, want exactly 1 (the data write)", corrupted)
+	}
+}
+
+// TestENOSPCAtEveryWritePoint: a disk filling up at any write point of
+// a cold managed build either fails the build cleanly (lock could not
+// be created) or the build finishes with the failed saves counted —
+// and a healthy rebuild afterwards always converges to a fully cached,
+// correct store.
+func TestENOSPCAtEveryWritePoint(t *testing.T) {
+	files := chainFiles(aV1)
+	wantPids := cleanPids(t, files)
+
+	countBuild := func(dir string, ffs *faultfs.FS) (*core.Manager, error) {
+		st, err := core.NewDirStoreFS(dir, ffs)
+		if err != nil {
+			return nil, err
+		}
+		m := core.NewManager()
+		m.Store = st
+		_, err = m.Build(files)
+		return m, err
+	}
+
+	ffs := faultfs.New(core.OSFS{})
+	if _, err := countBuild(t.TempDir(), ffs); err != nil {
+		t.Fatal(err)
+	}
+	n := ffs.WritePoints()
+
+	sawDegradedSuccess := false
+	for i := 0; i < n; i++ {
+		dir := t.TempDir()
+		ffs := faultfs.New(core.OSFS{})
+		ffs.Plan(faultfs.NoSpace, i)
+		m, err := countBuild(dir, ffs)
+		if err == nil && m.Stats.SaveErrors > 0 {
+			sawDegradedSuccess = true
+		}
+
+		// Healthy rebuild: correct, and converging to a full cache.
+		st, serr := core.NewDirStore(dir)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		rm := core.NewManager()
+		rm.Store = st
+		s, berr := rm.Build(files)
+		if berr != nil {
+			t.Fatalf("enospc at %d: healthy rebuild failed: %v", i, berr)
+		}
+		if !samePids(sessionPids(s), wantPids) {
+			t.Fatalf("enospc at %d: rebuild produced wrong interfaces", i)
+		}
+		rm2 := core.NewManager()
+		rm2.Store = st
+		if _, err := rm2.Build(files); err != nil {
+			t.Fatal(err)
+		}
+		if rm2.Stats.Loaded != len(files) {
+			t.Errorf("enospc at %d: cache did not converge (loaded %d/%d)",
+				i, rm2.Stats.Loaded, len(files))
+		}
+	}
+	if !sawDegradedSuccess {
+		t.Error("no write point produced a successful build with failed saves; ENOSPC degradation untested")
+	}
+}
+
+// TestCrashAtEveryBuildPoint crashes a whole managed build (locking,
+// saves, sweep) at each write point, then recovers with the crashed
+// holder's lockfile pointing at a genuinely dead process — exercising
+// pid-based stale-lock takeover on every path.
+func TestCrashAtEveryBuildPoint(t *testing.T) {
+	files := chainFiles(aV1)
+	wantPids := cleanPids(t, files)
+	dead := deadPid(t)
+
+	runBuild := func(dir string, ffs *faultfs.FS) error {
+		st, err := core.NewDirStoreFS(dir, ffs)
+		if err != nil {
+			return err
+		}
+		m := core.NewManager()
+		m.Store = st
+		_, err = m.Build(files)
+		return err
+	}
+
+	ffs := faultfs.New(core.OSFS{})
+	if err := runBuild(t.TempDir(), ffs); err != nil {
+		t.Fatal(err)
+	}
+	n := ffs.WritePoints()
+	if n < 20 {
+		t.Fatalf("cold 3-unit managed build has %d write points, expected >= 20", n)
+	}
+
+	for i := 0; i < n; i++ {
+		dir := t.TempDir()
+		ffs := faultfs.New(core.OSFS{})
+		ffs.Plan(faultfs.Crash, i)
+		runBuild(dir, ffs) // almost always errors; state on disk is what matters
+
+		// The crashed "process" is gone: re-point its lockfile at a pid
+		// that is verifiably dead, as it would be after a real crash.
+		lockPath := filepath.Join(dir, ".irm.lock")
+		if _, err := os.Stat(lockPath); err == nil {
+			if err := os.WriteFile(lockPath, []byte(fmt.Sprintf("pid %d\n", dead)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		st, err := core.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.LockTimeout = 10 * time.Second
+		m := core.NewManager()
+		m.Store = st
+		s, berr := m.Build(files)
+		if berr != nil {
+			t.Fatalf("crash at %d: recovery build failed: %v", i, berr)
+		}
+		if !samePids(sessionPids(s), wantPids) {
+			t.Fatalf("crash at %d: recovery produced wrong interfaces", i)
+		}
+		if m.Stats.Corrupt != 0 {
+			t.Errorf("crash at %d: atomic protocol leaked a corrupt entry", i)
+		}
+		noTempsLeft(t, dir)
+	}
+}
+
+// TestStoreLevelInjection drives the Manager through the API-level
+// fault store: reported corruption becomes a recorded recovery, and a
+// failing save degrades the build instead of killing it.
+func TestStoreLevelInjection(t *testing.T) {
+	files := chainFiles(aV1)
+	wantPids := cleanPids(t, files)
+
+	inner := core.NewMemStore()
+	warm := core.NewManager()
+	warm.Store = inner
+	if _, err := warm.Build(files); err != nil {
+		t.Fatal(err)
+	}
+
+	fstore := &faultfs.Store{Inner: inner, Corrupt: map[string]bool{"b.sml": true}}
+	m := core.NewManager()
+	m.Store = fstore
+	s, err := m.Build(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Corrupt != 1 || m.Stats.Recovered != 1 || m.Stats.Compiled != 1 {
+		t.Errorf("corrupt=%d recovered=%d compiled=%d, want 1/1/1",
+			m.Stats.Corrupt, m.Stats.Recovered, m.Stats.Compiled)
+	}
+	if !samePids(sessionPids(s), wantPids) {
+		t.Fatal("recovered build produced wrong interfaces")
+	}
+
+	failing := &faultfs.Store{Inner: core.NewMemStore(), SaveErr: errors.New("faultfs: disk full")}
+	m2 := core.NewManager()
+	m2.Store = failing
+	s2, err := m2.Build(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats.SaveErrors != len(files) {
+		t.Errorf("save errors=%d, want %d", m2.Stats.SaveErrors, len(files))
+	}
+	if !samePids(sessionPids(s2), wantPids) {
+		t.Fatal("uncached build produced wrong interfaces")
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorruptKind selects the damage CorruptStore inflicts on a bin file.
+type CorruptKind int
+
+// Corruption kinds.
+const (
+	// TruncateBin keeps only the first third of the file (torn write).
+	TruncateBin CorruptKind = iota
+	// FlipBin flips one bit in the middle of the file (bit rot).
+	FlipBin
+	// GarbageBin replaces the contents wholesale (foreign file).
+	GarbageBin
+)
+
+func (k CorruptKind) String() string {
+	switch k {
+	case TruncateBin:
+		return "truncate"
+	case FlipBin:
+		return "flip"
+	case GarbageBin:
+		return "garbage"
+	}
+	return "?"
+}
+
+// CorruptStore is the corruption-recovery scenario's fault injector:
+// it damages k cached ".bin" entries under dir (chosen deterministically
+// from seed) and returns the damaged file names. A subsequent build
+// over the store must detect, quarantine, and recompile exactly those
+// units — Manager.Stats.Corrupt/Recovered record the recovery.
+func CorruptStore(dir string, k int, kind CorruptKind, seed int64) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bins []string
+	for _, de := range entries {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".bin") {
+			bins = append(bins, de.Name())
+		}
+	}
+	sort.Strings(bins)
+	if k > len(bins) {
+		return nil, fmt.Errorf("workload: asked to corrupt %d of %d bins", k, len(bins))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(bins))[:k]
+	sort.Ints(perm)
+	var damaged []string
+	for _, i := range perm {
+		path := filepath.Join(dir, bins[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return damaged, err
+		}
+		switch kind {
+		case TruncateBin:
+			data = data[:len(data)/3]
+		case FlipBin:
+			if len(data) > 0 {
+				data[len(data)/2] ^= 0x01
+			}
+		case GarbageBin:
+			data = []byte("this is not a bin file")
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return damaged, err
+		}
+		damaged = append(damaged, bins[i])
+	}
+	return damaged, nil
+}

@@ -1,0 +1,85 @@
+package workload_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/pid"
+	"repro/internal/workload"
+)
+
+func unitPids(s *compiler.Session) []pid.Pid {
+	out := make([]pid.Pid, len(s.Units))
+	for i, u := range s.Units {
+		out[i] = u.StatPid
+	}
+	return out
+}
+
+// TestCorruptionRecoveryScenario: build a project cold, damage k cached
+// bins each way, and assert the next build detects, quarantines, and
+// recompiles exactly the damaged units with unchanged results.
+func TestCorruptionRecoveryScenario(t *testing.T) {
+	for _, kind := range []workload.CorruptKind{
+		workload.TruncateBin, workload.FlipBin, workload.GarbageBin,
+	} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := workload.Generate(workload.Small())
+			store, err := core.NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := core.NewManager()
+			m.Store = store
+			s, err := m.Build(p.Files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := unitPids(s)
+
+			const k = 3
+			damaged, err := workload.CorruptStore(store.Dir, k, kind, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(damaged) != k {
+				t.Fatalf("damaged %d files, want %d", len(damaged), k)
+			}
+
+			m2 := core.NewManager()
+			m2.Store = store
+			s2, err := m2.Build(p.Files)
+			if err != nil {
+				t.Fatalf("rebuild over corrupted store: %v", err)
+			}
+			if m2.Stats.Corrupt != k || m2.Stats.Recovered != k {
+				t.Errorf("corrupt=%d recovered=%d, want %d/%d",
+					m2.Stats.Corrupt, m2.Stats.Recovered, k, k)
+			}
+			if m2.Stats.Compiled != k {
+				t.Errorf("compiled %d units, want exactly the %d damaged", m2.Stats.Compiled, k)
+			}
+			got := unitPids(s2)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("unit %d: pid changed across recovery", i)
+				}
+			}
+			if des, err := os.ReadDir(store.QuarantineDir()); err != nil || len(des) != k {
+				t.Errorf("quarantine holds %d files (err=%v), want %d", len(des), err, k)
+			}
+
+			m3 := core.NewManager()
+			m3.Store = store
+			if _, err := m3.Build(p.Files); err != nil {
+				t.Fatal(err)
+			}
+			if m3.Stats.Loaded != len(p.Files) || m3.Stats.Corrupt != 0 {
+				t.Errorf("store did not heal: loaded=%d corrupt=%d, want %d/0",
+					m3.Stats.Loaded, m3.Stats.Corrupt, len(p.Files))
+			}
+		})
+	}
+}
