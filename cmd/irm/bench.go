@@ -1,0 +1,137 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// BenchSchema identifies the BENCH_irm.json format.
+const BenchSchema = "irm-bench/1"
+
+// BenchFile is the machine-readable output of `irm bench`: the edit
+// matrix of the paper's evaluation (cold / null / implementation edit
+// / interface edit) run against one generated project, with wall
+// time, Stats, phase timings, and raw counters per scenario — the
+// repo's perf trajectory as data.
+type BenchFile struct {
+	Schema    string          `json:"schema"`
+	Config    BenchConfig     `json:"config"`
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// BenchConfig echoes the workload parameters the run used.
+type BenchConfig struct {
+	Units        int    `json:"units"`
+	LinesPerUnit int    `json:"lines_per_unit"`
+	Shape        string `json:"shape"`
+	Seed         int64  `json:"seed"`
+	Policy       string `json:"policy"`
+}
+
+// BenchScenario is one build of the edit matrix.
+type BenchScenario struct {
+	Name   string     `json:"name"`
+	WallNs int64      `json:"wall_ns"`
+	Report obs.Report `json:"report"`
+}
+
+// cmdBench runs the bench harness: generate a layered project, build
+// it cold, null, after an implementation-only edit (cutoff), and
+// after an interface edit (cascade), all against one on-disk store,
+// and write the results as JSON.
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_irm.json", "output file (- for stdout)")
+	units := fs.Int("units", 60, "units in the generated project")
+	lines := fs.Int("lines", 30, "approximate lines per unit")
+	seed := fs.Int64("seed", 1994, "workload generator seed")
+	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
+	fs.Parse(args)
+
+	cfg := workload.Config{
+		Shape: workload.Layered, Units: *units, LinesPerUnit: *lines,
+		FunsPerUnit: 4, FanIn: 3, LayerWidth: 6, Seed: *seed,
+	}
+	p := workload.Generate(cfg)
+
+	pol := core.PolicyCutoff
+	switch *policy {
+	case "cutoff":
+	case "timestamp":
+		pol = core.PolicyTimestamp
+	default:
+		usage()
+	}
+
+	storeDir, err := os.MkdirTemp("", "irm-bench-store-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	// The edited unit is the base of the DAG, so the interface edit
+	// cascades through the widest possible cone.
+	scenarios := []struct {
+		name  string
+		files []core.File
+	}{
+		{"cold", p.Files},
+		{"null", p.Files},
+		{"impl-edit", p.Edit(0, workload.ImplEdit, 1)},
+		{"interface-edit", p.Edit(0, workload.InterfaceEdit, 2)},
+	}
+
+	bf := BenchFile{
+		Schema: BenchSchema,
+		Config: BenchConfig{
+			Units: cfg.Units, LinesPerUnit: cfg.LinesPerUnit,
+			Shape: cfg.Shape.String(), Seed: cfg.Seed, Policy: pol.String(),
+		},
+	}
+	for _, sc := range scenarios {
+		store, err := core.NewDirStore(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		col := obs.New()
+		store.Obs = col
+		m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, Obs: col}
+		t0 := time.Now()
+		if _, err := m.Build(sc.files); err != nil {
+			fatal(fmt.Errorf("bench scenario %s: %v", sc.name, err))
+		}
+		wall := time.Since(t0)
+		bf.Scenarios = append(bf.Scenarios, BenchScenario{
+			Name:   sc.name,
+			WallNs: int64(wall),
+			Report: m.Report(sc.name),
+		})
+		fmt.Fprintf(os.Stderr, "irm bench: %-14s %10v  compiled %3d, loaded %3d, cutoffs %3d\n",
+			sc.name, wall.Round(time.Microsecond), m.Stats.Compiled, m.Stats.Loaded, m.Stats.Cutoffs)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	writeJSONLine(w, bf)
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "irm bench: wrote %s\n", *out)
+	}
+}

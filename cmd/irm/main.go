@@ -4,19 +4,31 @@
 // display dependency graphs and the §5 hash-collision analysis.
 //
 //	irm build group.cm [-store dir] [-policy cutoff|timestamp] [-v]
+//	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
+//	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n]
 //	irm deps  group.cm
 //	irm collision [-pids n]
+//
+// Telemetry: -trace writes the build's span tree as Chrome
+// trace_event JSON (load it in chrome://tracing or Perfetto), -jsonl
+// the same plus explain records and counters as JSON lines, -explain
+// streams one rebuild-decision record per unit to stderr, and
+// -report json replaces the human summary with a machine-readable
+// report object on the last line of stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/depend"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +38,8 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		cmdBuild(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
 	case "deps":
 		cmdDeps(os.Args[2:])
 	case "show":
@@ -73,6 +87,8 @@ func splitGroupArg(args []string) (group string, rest []string) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   irm build group.cm [-store dir] [-policy cutoff|timestamp] [-v]
+            [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
+  irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n]
   irm deps  group.cm
   irm show  file.sml ...
   irm collision [-pids n]`)
@@ -84,12 +100,19 @@ func cmdBuild(args []string) {
 	storeDir := fs.String("store", ".irm-store", "bin cache directory")
 	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
 	verbose := fs.Bool("v", false, "log per-unit actions")
+	tracePath := fs.String("trace", "", "write Chrome trace_event JSON to this file")
+	jsonlPath := fs.String("jsonl", "", "write spans, explains, and counters as JSON lines to this file")
+	explain := fs.Bool("explain", false, "stream one rebuild-decision JSON record per unit to stderr")
+	report := fs.String("report", "text", "build summary format: text or json")
 	groupPath, rest := splitGroupArg(args)
 	fs.Parse(rest)
 	if groupPath == "" && fs.NArg() == 1 {
 		groupPath = fs.Arg(0)
 	}
 	if groupPath == "" {
+		usage()
+	}
+	if *report != "text" && *report != "json" {
 		usage()
 	}
 
@@ -101,7 +124,10 @@ func cmdBuild(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	m := &core.Manager{Store: store, Stdout: os.Stdout}
+	// One collector spans the manager, the store, and the lock path.
+	col := obs.New()
+	store.Obs = col
+	m := &core.Manager{Store: store, Stdout: os.Stdout, Obs: col}
 	switch *policy {
 	case "cutoff":
 		m.Policy = core.PolicyCutoff
@@ -113,14 +139,56 @@ func cmdBuild(args []string) {
 	if *verbose {
 		m.Log = os.Stderr
 	}
-	if _, err := m.Build(group.Files); err != nil {
-		fatal(err)
+	_, buildErr := m.Build(group.Files)
+	// Telemetry is flushed before the build error is reported: a trace
+	// of a failing build is the one you want most.
+	flushTelemetry(col, *tracePath, *jsonlPath)
+	if *explain {
+		if err := obs.WriteExplainJSONL(os.Stderr, m.Explains); err != nil {
+			fatal(err)
+		}
+	}
+	if buildErr != nil {
+		fatal(buildErr)
+	}
+	if *report == "json" {
+		writeJSONLine(os.Stdout, m.Report(group.Name))
+		return
 	}
 	st := m.Stats
 	fmt.Printf("%s: %d units — parsed %d, compiled %d, loaded %d, cutoffs %d, corrupt %d, recovered %d\n",
 		group.Name, st.Units, st.Parsed, st.Compiled, st.Loaded, st.Cutoffs, st.Corrupt, st.Recovered)
 	fmt.Printf("  compile %v, hash %v, pickle %v, load %v, exec %v\n",
 		st.CompileTime, st.HashTime, st.PickleTime, st.LoadTime, st.ExecTime)
+}
+
+// flushTelemetry writes the collector's trace and JSONL files, if
+// requested.
+func flushTelemetry(col *obs.Collector, tracePath, jsonlPath string) {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func cmdDeps(args []string) {
@@ -171,6 +239,20 @@ func cmdCollision(args []string) {
 	fmt.Printf("pairs:              %.0f (2^%.1f)\n", pairs, log2Pairs)
 	fmt.Printf("P(any collision) <= 2^%.1f\n", log2P)
 	fmt.Printf("paper (§5): 2^13 pids -> ~2^25 pairs -> P ~ 2^-103\n")
+}
+
+// writeJSONLine marshals v onto a single line of w — keeping the
+// machine-readable report greppable as "the last line of stdout" even
+// when program output precedes it.
+func writeJSONLine(w io.Writer, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

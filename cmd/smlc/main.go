@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,18 +15,28 @@ import (
 
 	"repro/internal/binfile"
 	"repro/internal/compiler"
+	"repro/internal/obs"
 )
 
 func main() {
 	outDir := flag.String("d", ".", "directory for bin files")
 	verbose := flag.Bool("v", false, "print interfaces and imports")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	report := flag.String("report", "", "with 'json', write a machine-readable summary line to stderr")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-v] file.sml ...")
+		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-v] [-trace out.json] [-report json] file.sml ...")
 		os.Exit(2)
 	}
+	if *report != "" && *report != "json" {
+		fatal(fmt.Errorf("unknown -report format %q (want json)", *report))
+	}
 
+	col := obs.New()
+	root := col.StartSpan(obs.CatBuild, "smlc").Arg("units", flag.NArg())
+	sspan := root.Child(obs.CatPhase, "session")
 	session, err := compiler.NewSession(os.Stdout)
+	sspan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -35,21 +46,27 @@ func main() {
 			fatal(err)
 		}
 		name := filepath.Base(path)
+		uspan := root.Child(obs.CatUnit, name)
+		cspan := uspan.Child(obs.CatPhase, "compile")
 		u, err := session.Run(name, string(src))
+		cspan.End()
+		col.Add("time.compile_ns", int64(cspan.Duration()))
 		if err != nil {
 			fatal(err)
 		}
+		col.Add("build.compiled", 1)
 		binPath := filepath.Join(*outDir, strings.TrimSuffix(name, ".sml")+".bin")
-		f, err := os.Create(binPath)
+		pspan := uspan.Child(obs.CatPhase, "pickle")
+		data, err := binfile.EncodeObserved(u, col)
+		pspan.End()
+		col.Add("time.pickle_ns", int64(pspan.Duration()))
 		if err != nil {
 			fatal(err)
 		}
-		if err := binfile.Write(f, u); err != nil {
+		if err := os.WriteFile(binPath, data, 0o644); err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+		uspan.Arg("pid", u.StatPid.Short()).End()
 		fmt.Printf("%s: interface %s -> %s\n", name, u.StatPid.Short(), binPath)
 		if *verbose {
 			for i, im := range u.Imports {
@@ -59,6 +76,32 @@ func main() {
 				fmt.Printf("  warning: %s\n", w)
 			}
 		}
+	}
+	root.End()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *report == "json" {
+		summary := struct {
+			Schema   string           `json:"schema"`
+			Tool     string           `json:"tool"`
+			Units    int              `json:"units"`
+			Counters map[string]int64 `json:"counters"`
+		}{"smlc-report/1", "smlc", flag.NArg(), col.Counters()}
+		data, err := json.Marshal(summary)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, string(data))
 	}
 }
 

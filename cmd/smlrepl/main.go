@@ -5,21 +5,47 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/repl"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the session to this file on exit")
+	flag.Parse()
+
 	r, err := repl.New(os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smlrepl:", err)
 		os.Exit(1)
 	}
+	var col *obs.Collector
+	if *tracePath != "" {
+		col = obs.New()
+		r.Obs = col
+	}
 	fmt.Println("Standard ML separate-compilation REPL (quit; to exit)")
-	if err := r.Interact(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "smlrepl:", err)
+	interactErr := r.Interact(os.Stdin, os.Stdout)
+	if col != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smlrepl:", err)
+			os.Exit(1)
+		}
+		if err := col.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "smlrepl:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "smlrepl:", err)
+			os.Exit(1)
+		}
+	}
+	if interactErr != nil {
+		fmt.Fprintln(os.Stderr, "smlrepl:", interactErr)
 		os.Exit(1)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/linker"
+	"repro/internal/obs"
 	"repro/internal/pid"
 )
 
@@ -22,10 +24,17 @@ func main() {
 	binMode := flag.Bool("bin", false, "arguments are bin files to link and run")
 	storeDir := flag.String("store", "", "bin cache directory (enables incremental reuse)")
 	verbose := flag.Bool("v", false, "log per-unit actions")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	explain := flag.Bool("explain", false, "stream one rebuild-decision JSON record per unit to stderr")
+	report := flag.String("report", "", "with 'json', write a machine-readable build report line to stderr")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: smlrun [-bin] [-store dir] [-v] file ...")
+		fmt.Fprintln(os.Stderr,
+			"usage: smlrun [-bin] [-store dir] [-v] [-trace out.json] [-explain] [-report json] file ...")
 		os.Exit(2)
+	}
+	if *report != "" && *report != "json" {
+		fatal(fmt.Errorf("unknown -report format %q (want json)", *report))
 	}
 
 	if *binMode {
@@ -33,8 +42,10 @@ func main() {
 		return
 	}
 
+	col := obs.New()
 	m := core.NewManager()
 	m.Stdout = os.Stdout
+	m.Obs = col
 	if *verbose {
 		m.Log = os.Stderr
 	}
@@ -43,6 +54,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		store.Obs = col
 		m.Store = store
 	}
 
@@ -54,13 +66,49 @@ func main() {
 		}
 		files = append(files, core.File{Name: filepath.Base(path), Source: string(src)})
 	}
-	if _, err := m.Build(files); err != nil {
-		fatal(err)
+	_, buildErr := m.Build(files)
+	if *tracePath != "" {
+		writeTrace(col, *tracePath)
+	}
+	if *explain {
+		if err := obs.WriteExplainJSONL(os.Stderr, m.Explains); err != nil {
+			fatal(err)
+		}
+	}
+	if buildErr != nil {
+		fatal(buildErr)
+	}
+	if *report == "json" {
+		// The program's own output owns stdout; the report goes to
+		// stderr as a single JSON line.
+		name := "smlrun"
+		if flag.NArg() > 0 {
+			name = filepath.Base(flag.Arg(0))
+		}
+		data, err := json.Marshal(m.Report(name))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, string(data))
 	}
 	if *verbose {
 		st := m.Stats
 		fmt.Fprintf(os.Stderr, "units=%d compiled=%d loaded=%d cutoffs=%d corrupt=%d recovered=%d\n",
 			st.Units, st.Compiled, st.Loaded, st.Cutoffs, st.Corrupt, st.Recovered)
+	}
+}
+
+// writeTrace writes the collector's Chrome trace_event file.
+func writeTrace(col *obs.Collector, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := col.WriteTrace(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/lambda"
+	"repro/internal/obs"
 	"repro/internal/pickle"
 	"repro/internal/pid"
 )
@@ -46,6 +47,29 @@ func Encode(u *compiler.Unit) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// EncodeObserved is Encode with byte and failure accounting on rec
+// (counters binfile.bytes_written, binfile.encode_errors).
+func EncodeObserved(u *compiler.Unit, rec obs.Recorder) ([]byte, error) {
+	data, err := Encode(u)
+	if err != nil {
+		obs.Count(rec, "binfile.encode_errors", 1)
+		return nil, err
+	}
+	obs.Count(rec, "binfile.bytes_written", int64(len(data)))
+	return data, nil
+}
+
+// ReadObserved is Read with byte and failure accounting on rec
+// (counters binfile.bytes_read, binfile.read_errors).
+func ReadObserved(data []byte, ix *pickle.Index, rec obs.Recorder) (*compiler.Unit, error) {
+	obs.Count(rec, "binfile.bytes_read", int64(len(data)))
+	u, err := Read(data, ix)
+	if err != nil {
+		obs.Count(rec, "binfile.read_errors", 1)
+	}
+	return u, err
 }
 
 // Read rehydrates a unit from bin-file bytes, resolving external

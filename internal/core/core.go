@@ -28,6 +28,7 @@ import (
 	"repro/internal/binfile"
 	"repro/internal/compiler"
 	"repro/internal/depend"
+	"repro/internal/obs"
 	"repro/internal/pid"
 )
 
@@ -109,6 +110,21 @@ func (e *CorruptError) Error() string {
 
 func (e *CorruptError) Unwrap() error { return e.Err }
 
+// Clone returns a deep copy of the entry: mutating the copy (or its
+// slices) cannot reach the original.
+func (e *Entry) Clone() *Entry {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.DepNames = append([]string(nil), e.DepNames...)
+	c.DepPids = append([]pid.Pid(nil), e.DepPids...)
+	c.Defs = append([]string(nil), e.Defs...)
+	c.Free = append([]string(nil), e.Free...)
+	c.Bin = append([]byte(nil), e.Bin...)
+	return &c
+}
+
 // MemStore is an in-memory store (used by tests and benches).
 type MemStore struct {
 	m map[string]*Entry
@@ -117,21 +133,26 @@ type MemStore struct {
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore { return &MemStore{m: map[string]*Entry{}} }
 
-// Load implements Store.
+// Load implements Store. The returned entry is a defensive copy: a
+// caller mutating it (or its Bin slice) cannot corrupt the cache in
+// place.
 func (s *MemStore) Load(name string) (*Entry, error) {
-	return s.m[name], nil
+	return s.m[name].Clone(), nil
 }
 
-// Save implements Store.
+// Save implements Store. The entry is copied on the way in, so later
+// caller-side mutation cannot reach the cache either.
 func (s *MemStore) Save(name string, e *Entry) error {
-	s.m[name] = e
+	s.m[name] = e.Clone()
 	return nil
 }
 
 // Len reports the number of cached units.
 func (s *MemStore) Len() int { return len(s.m) }
 
-// Stats counts what a build did.
+// Stats counts what a build did. It is derived, after every Build,
+// from the telemetry counters of that build (see statsFromCounters) —
+// the counters are the single source of truth, Stats a fixed view.
 type Stats struct {
 	Units    int // units in the group
 	Parsed   int // files parsed (source changed or no cache)
@@ -143,6 +164,7 @@ type Stats struct {
 	Corrupt    int // cache entries detected as corrupt (quarantined)
 	Recovered  int // units recompiled because their entry was corrupt
 	SaveErrors int // bin saves that failed (the build continues uncached)
+	HashErrors int // interface-hash measurements that failed (non-fatal)
 
 	ParseTime   time.Duration
 	CompileTime time.Duration
@@ -150,6 +172,33 @@ type Stats struct {
 	PickleTime  time.Duration
 	LoadTime    time.Duration
 	ExecTime    time.Duration
+}
+
+// statsFromCounters projects one build's counter deltas onto the
+// classic Stats view. Counter names are the registry of DESIGN.md
+// §4d; keys the projection does not know (store.*, lock.*,
+// binfile.*) are simply not part of Stats, so nothing is ever
+// double-counted between the two surfaces.
+func statsFromCounters(c map[string]int64) Stats {
+	return Stats{
+		Units:      int(c["build.units"]),
+		Parsed:     int(c["build.parsed"]),
+		Compiled:   int(c["build.compiled"]),
+		Loaded:     int(c["build.loaded"]),
+		Cutoffs:    int(c["build.cutoffs"]),
+		Executed:   int(c["build.executed"]),
+		Corrupt:    int(c["cache.corrupt"]),
+		Recovered:  int(c["cache.recovered"]),
+		SaveErrors: int(c["cache.save_errors"]),
+		HashErrors: int(c["build.hash_errors"]),
+
+		ParseTime:   time.Duration(c["time.parse_ns"]),
+		CompileTime: time.Duration(c["time.compile_ns"]),
+		HashTime:    time.Duration(c["time.hash_ns"]),
+		PickleTime:  time.Duration(c["time.pickle_ns"]),
+		LoadTime:    time.Duration(c["time.load_ns"]),
+		ExecTime:    time.Duration(c["time.exec_ns"]),
+	}
 }
 
 // Manager is the compilation manager.
@@ -161,9 +210,22 @@ type Manager struct {
 	// Log, when non-nil, receives one line per unit describing the
 	// action taken.
 	Log io.Writer
+	// Obs, when non-nil, receives the build's spans, counters, and
+	// explain records; attach the same collector to the DirStore (its
+	// Obs field) to fold store and lock telemetry into one stream.
+	// When nil, each Build collects into a private collector, so
+	// Stats, Counters, and Explains are populated either way.
+	// Overlapping Builds must not share one collector (their per-build
+	// counter deltas would mix); concurrent managers get one each.
+	Obs *obs.Collector
 
 	// Stats describes the most recent Build.
 	Stats Stats
+	// Counters holds the most recent Build's raw counter deltas.
+	Counters map[string]int64
+	// Explains is the most recent Build's rebuild-decision log:
+	// exactly one record per unit the build reached.
+	Explains []obs.Explain
 }
 
 // NewManager returns a cutoff-policy manager over a fresh memory store.
@@ -184,25 +246,47 @@ func (m *Manager) logf(format string, args ...any) {
 // unchanged are rehydrated from their cached bins instead of being
 // recompiled.
 func (m *Manager) Build(files []File) (*compiler.Session, error) {
-	m.Stats = Stats{Units: len(files)}
+	// All accounting goes through one collector; Stats, Counters, and
+	// Explains are projected from it when Build returns (on every
+	// path, including errors).
+	col := m.Obs
+	if col == nil {
+		col = obs.New()
+	}
+	gen := col.BeginBuild()
+	bspan := col.StartSpan(obs.CatBuild, "build").
+		Arg("policy", m.Policy.String()).Arg("units", len(files))
+	defer bspan.End()
+	before := col.Counters()
+	defer func() {
+		m.Counters = col.Since(before)
+		m.Stats = statsFromCounters(m.Counters)
+		m.Explains = col.BuildExplains(gen)
+	}()
+	col.Add("build.units", int64(len(files)))
 
 	// Serialize whole builds when the store supports locking: two
 	// managers over one store (goroutines or processes) must not
 	// interleave their writes.
 	if l, ok := m.Store.(Locker); ok {
+		lspan := bspan.Child(obs.CatPhase, "lock")
 		release, err := l.Lock()
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("irm: acquiring store lock: %v", err)
 		}
 		defer release()
 	}
 
+	sspan := bspan.Child(obs.CatPhase, "session")
 	session, err := compiler.NewSession(m.Stdout)
+	sspan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 1: per-file dependency info, re-parsing only changed files.
+	scan := bspan.Child(obs.CatPhase, "scan")
 	infos := make([]*depend.Info, len(files))
 	entries := make(map[string]*Entry, len(files))
 	srcHashes := make(map[string]pid.Pid, len(files))
@@ -216,13 +300,16 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 			// fatal error and never linked: the unit recompiles below.
 			var ce *CorruptError
 			if errors.As(lerr, &ce) {
-				m.Stats.Corrupt++
+				col.Add("cache.corrupt", 1)
 				corrupt[f.Name] = true
+			} else {
+				col.Add("cache.load_errors", 1)
 			}
 			m.logf("[%s] %s: cache entry unusable (%v); will recompile",
 				m.Policy, f.Name, lerr)
 		}
 		if e != nil {
+			col.Add("cache.hits", 1)
 			entries[f.Name] = e
 			if e.SrcHash == h {
 				// Unchanged source: dependency info comes from the cache
@@ -230,19 +317,26 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 				infos[i] = &depend.Info{Name: f.Name, Defs: e.Defs, Free: e.Free}
 				continue
 			}
+		} else if lerr == nil {
+			col.Add("cache.misses", 1)
 		}
-		t0 := time.Now()
+		pspan := scan.Child(obs.CatPhase, "parse").Arg("unit", f.Name)
 		info, err := depend.Analyze(f.Name, f.Source)
-		m.Stats.ParseTime += time.Since(t0)
+		pspan.End()
+		col.Add("time.parse_ns", int64(pspan.Duration()))
 		if err != nil {
+			scan.End()
 			return nil, err
 		}
-		m.Stats.Parsed++
+		col.Add("build.parsed", 1)
 		infos[i] = info
 	}
+	scan.End()
 
 	// Phase 2: topological order over the induced dependency DAG.
+	ospan := bspan.Child(obs.CatPhase, "order")
 	order, err := depend.TopoSort(infos)
+	ospan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -252,24 +346,38 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 	}
 	deps := depend.Graph(infos)
 
-	// Phase 3: compile or load, in order.
+	// Phase 3: compile or load, in order. Every unit files exactly one
+	// explain record before its turn ends — also on fatal errors.
 	currentPids := map[string]pid.Pid{}
 	recompiled := map[string]bool{}
+	// atRisk marks units that loaded but sit downstream of a recompile:
+	// under the timestamp policy the whole cone would have rebuilt, so
+	// risk propagates through loaded units, not just direct edges.
+	atRisk := map[string]bool{}
 	for _, info := range order {
 		name := info.Name
 		depNames := append([]string(nil), deps[name]...)
 		sort.Strings(depNames)
 		depPids := make([]pid.Pid, len(depNames))
 		depRecompiled := false
+		depAtRisk := false
 		for i, d := range depNames {
 			depPids[i] = currentPids[d]
 			if recompiled[d] {
 				depRecompiled = true
 			}
+			if recompiled[d] || atRisk[d] {
+				depAtRisk = true
+			}
 		}
 
 		entry := entries[name]
+		exp := obs.Explain{Build: gen, Unit: name, Policy: m.Policy.String()}
+		if entry != nil {
+			exp.OldPid = entry.StatPid.String()
+		}
 		srcOK := entry != nil && entry.SrcHash == srcHashes[name]
+		exp.SourceChanged = entry != nil && !srcOK
 		depsOK := entry != nil && pidsEqual(entry.DepPids, depPids) &&
 			namesEqual(entry.DepNames, depNames)
 		var reuse bool
@@ -281,77 +389,141 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 		}
 		reuse = reuse && entry != nil && len(entry.Bin) > 0
 
+		uspan := bspan.Child(obs.CatUnit, name)
+		binUnreadable := false
 		if reuse {
-			t0 := time.Now()
-			u, err := binfile.Read(entry.Bin, session.Index)
-			m.Stats.LoadTime += time.Since(t0)
+			lspan := uspan.Child(obs.CatPhase, "load")
+			u, err := binfile.ReadObserved(entry.Bin, session.Index, col)
+			lspan.End()
+			col.Add("time.load_ns", int64(lspan.Duration()))
 			if err == nil {
-				t1 := time.Now()
+				espan := uspan.Child(obs.CatPhase, "exec")
 				execErr := compiler.Execute(session.Machine, u, session.Dyn)
-				m.Stats.ExecTime += time.Since(t1)
+				espan.End()
+				col.Add("time.exec_ns", int64(espan.Duration()))
+				exp.Action = obs.ActionLoaded
+				exp.NewPid = u.StatPid.String()
 				if execErr != nil {
+					exp.Reason = obs.ReasonCached
+					exp.Error = execErr.Error()
+					col.Explain(exp)
+					uspan.End()
 					return nil, execErr
 				}
 				session.Accept(u)
 				currentPids[name] = u.StatPid
-				m.Stats.Loaded++
-				m.Stats.Executed++
+				col.Add("build.loaded", 1)
+				col.Add("build.executed", 1)
+				exp.Reason = obs.ReasonCached
+				// The cutoff rule's payoff, as data: something upstream
+				// recompiled, yet this unit still loads from cache.
+				exp.SavedByCutoff = m.Policy == PolicyCutoff && depAtRisk
+				atRisk[name] = depAtRisk
+				col.Explain(exp)
+				uspan.Arg("action", obs.ActionLoaded).Arg("pid", u.StatPid.Short())
+				uspan.End()
 				m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, u.StatPid.Short())
 				continue
 			}
 			// The entry passed store validation but its bin failed to
 			// rehydrate — corruption caught by the inner format layer.
-			m.Stats.Corrupt++
+			col.Add("cache.corrupt", 1)
 			corrupt[name] = true
+			binUnreadable = true
 			m.logf("[%s] %s: bin reload failed (%v); recompiling", m.Policy, name, err)
 		}
 
-		// Recompile.
-		t0 := time.Now()
+		// Recompile, with the decision spelled out (most specific
+		// reason wins; see the obs.Reason* precedence order).
+		exp.Action = obs.ActionCompiled
+		switch {
+		case binUnreadable:
+			exp.Reason = obs.ReasonBinUnreadable
+		case corrupt[name]:
+			exp.Reason = obs.ReasonCorrupt
+		case entry == nil:
+			exp.Reason = obs.ReasonCold
+		case !srcOK:
+			exp.Reason = obs.ReasonSourceChanged
+		case m.Policy == PolicyCutoff && !depsOK:
+			exp.Reason = obs.ReasonDepInterfaceChanged
+			exp.ChangedDeps = depChanges(entry, depNames, depPids)
+		case m.Policy == PolicyTimestamp && depRecompiled:
+			exp.Reason = obs.ReasonDepRecompiled
+		default:
+			exp.Reason = obs.ReasonBinMissing
+		}
+
+		cspan := uspan.Child(obs.CatPhase, "compile")
 		u, err := session.Compile(name, sources[name])
-		m.Stats.CompileTime += time.Since(t0)
+		cspan.End()
+		col.Add("time.compile_ns", int64(cspan.Duration()))
 		if err != nil {
+			exp.Error = err.Error()
+			col.Explain(exp)
+			uspan.End()
 			return nil, err
 		}
-		m.Stats.Compiled++
+		col.Add("build.compiled", 1)
+		exp.NewPid = u.StatPid.String()
 		if corrupt[name] {
 			// The unit's cache entry was corrupt and the rebuild
 			// succeeded: the store healed itself by recompilation.
-			m.Stats.Recovered++
+			col.Add("cache.recovered", 1)
 		}
 
-		// Attribute the hashing cost separately (E3's measurement).
-		t1 := time.Now()
-		if _, _, herr := compiler.HashInterface(name, u.Env); herr == nil {
-			m.Stats.HashTime += time.Since(t1)
+		// Attribute the hashing cost separately (E3's measurement). The
+		// elapsed time counts whether or not the hash succeeds; a
+		// failure is recorded, never silently dropped — the pid from
+		// compilation stays authoritative either way.
+		hspan := uspan.Child(obs.CatPhase, "hash")
+		_, _, herr := compiler.HashInterface(name, u.Env)
+		hspan.End()
+		col.Add("time.hash_ns", int64(hspan.Duration()))
+		if herr != nil {
+			col.Add("build.hash_errors", 1)
+			exp.HashError = herr.Error()
+			m.logf("[%s] %s: interface-hash measurement failed: %v",
+				m.Policy, name, herr)
 		}
 
 		if entry != nil && entry.StatPid == u.StatPid {
-			m.Stats.Cutoffs++
+			col.Add("build.cutoffs", 1)
+			exp.Cutoff = true
 			m.logf("[%s] %s: recompiled, interface UNCHANGED (%s) — dependents cut off",
 				m.Policy, name, u.StatPid.Short())
 		} else {
 			m.logf("[%s] %s: recompiled, interface %s", m.Policy, name, u.StatPid.Short())
 		}
 
-		t2 := time.Now()
-		bin, err := binfile.Encode(u)
-		m.Stats.PickleTime += time.Since(t2)
+		pkspan := uspan.Child(obs.CatPhase, "pickle")
+		bin, err := binfile.EncodeObserved(u, col)
+		pkspan.End()
+		col.Add("time.pickle_ns", int64(pkspan.Duration()))
 		if err != nil {
+			exp.Error = err.Error()
+			col.Explain(exp)
+			uspan.End()
 			return nil, fmt.Errorf("%s: %v", name, err)
 		}
 
-		t3 := time.Now()
-		if err := compiler.Execute(session.Machine, u, session.Dyn); err != nil {
-			return nil, err
+		espan := uspan.Child(obs.CatPhase, "exec")
+		execErr := compiler.Execute(session.Machine, u, session.Dyn)
+		espan.End()
+		col.Add("time.exec_ns", int64(espan.Duration()))
+		if execErr != nil {
+			exp.Error = execErr.Error()
+			col.Explain(exp)
+			uspan.End()
+			return nil, execErr
 		}
-		m.Stats.ExecTime += time.Since(t3)
-		m.Stats.Executed++
+		col.Add("build.executed", 1)
 		session.Accept(u)
 
 		currentPids[name] = u.StatPid
 		recompiled[name] = true
-		if err := m.Store.Save(name, &Entry{
+		svspan := uspan.Child(obs.CatPhase, "save")
+		serr := m.Store.Save(name, &Entry{
 			SrcHash:  srcHashes[name],
 			StatPid:  u.StatPid,
 			DepNames: depNames,
@@ -359,16 +531,53 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 			Defs:     info.Defs,
 			Free:     info.Free,
 			Bin:      bin,
-		}); err != nil {
+		})
+		svspan.End()
+		if serr != nil {
 			// A failed save (ENOSPC, permissions) costs only future
 			// incrementality — the unit is already compiled, executed,
 			// and in scope, so the build itself proceeds.
-			m.Stats.SaveErrors++
+			col.Add("cache.save_errors", 1)
+			exp.SaveError = serr.Error()
 			m.logf("[%s] %s: saving bin failed (%v); continuing uncached",
-				m.Policy, name, err)
+				m.Policy, name, serr)
 		}
+		col.Explain(exp)
+		uspan.Arg("action", obs.ActionCompiled).Arg("pid", u.StatPid.Short())
+		uspan.End()
 	}
 	return session, nil
+}
+
+// depChanges lists the imports whose interface pids differ between a
+// cached entry and the current build — the concrete dependencies that
+// defeated reuse under the cutoff rule.
+func depChanges(entry *Entry, depNames []string, depPids []pid.Pid) []obs.DepChange {
+	old := make(map[string]pid.Pid, len(entry.DepNames))
+	for i, n := range entry.DepNames {
+		if i < len(entry.DepPids) {
+			old[n] = entry.DepPids[i]
+		}
+	}
+	var out []obs.DepChange
+	cur := make(map[string]bool, len(depNames))
+	for i, n := range depNames {
+		cur[n] = true
+		op, ok := old[n]
+		switch {
+		case !ok:
+			out = append(out, obs.DepChange{Name: n, NewPid: depPids[i].String()})
+		case op != depPids[i]:
+			out = append(out, obs.DepChange{
+				Name: n, OldPid: op.String(), NewPid: depPids[i].String()})
+		}
+	}
+	for _, n := range entry.DepNames {
+		if !cur[n] {
+			out = append(out, obs.DepChange{Name: n, OldPid: old[n].String()})
+		}
+	}
+	return out
 }
 
 func pidsEqual(a, b []pid.Pid) bool {

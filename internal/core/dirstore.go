@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pid"
 )
 
@@ -37,6 +38,11 @@ type DirStore struct {
 	// FS is the filesystem the store talks to; nil means the real one.
 	// internal/faultfs substitutes a fault-injecting implementation.
 	FS FS
+	// Obs, when non-nil, receives store-level counters (store.bytes_*,
+	// store.corrupt, store.quarantined, store.save_errors) and the
+	// lockfile counters (lock.*). Because the counting sits above FS,
+	// fault-injected (faultfs) runs are observed identically.
+	Obs obs.Recorder
 
 	// LockTimeout bounds how long Lock waits for a competing holder
 	// (default 1 minute). LockStaleAfter is the age past which a
@@ -92,9 +98,14 @@ func (s *DirStore) Load(name string) (*Entry, error) {
 		}
 		return nil, err
 	}
+	obs.Count(s.Obs, "store.bytes_read", int64(len(data)))
 	e, derr := DecodeEntry(data)
 	if derr != nil {
+		obs.Count(s.Obs, "store.corrupt", 1)
 		q := s.quarantine(path)
+		if q != "" {
+			obs.Count(s.Obs, "store.quarantined", 1)
+		}
 		return nil, &CorruptError{Name: name, Path: path, Quarantined: q, Err: derr}
 	}
 	return e, nil
@@ -131,6 +142,14 @@ func (s *DirStore) quarantine(path string) string {
 // Save implements Store with the atomic-rename protocol: temp file in
 // the same directory, fsync, rename, fsync the directory.
 func (s *DirStore) Save(name string, e *Entry) error {
+	err := s.save(name, e)
+	if err != nil {
+		obs.Count(s.Obs, "store.save_errors", 1)
+	}
+	return err
+}
+
+func (s *DirStore) save(name string, e *Entry) error {
 	fsys := s.fs()
 	data := EncodeEntry(e)
 	path := s.path(name)
@@ -157,7 +176,11 @@ func (s *DirStore) Save(name string, e *Entry) error {
 		fsys.Remove(tmp)
 		return err
 	}
-	return fsys.SyncDir(s.Dir)
+	if err := fsys.SyncDir(s.Dir); err != nil {
+		return err
+	}
+	obs.Count(s.Obs, "store.bytes_written", int64(len(data)))
+	return nil
 }
 
 // Entry format versions. V2 appends a CRC-64 trailer over everything

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pid"
+)
+
+// explainByUnit indexes the last build's explain records and checks
+// the "exactly one record per unit per build" invariant on the way.
+func explainByUnit(t *testing.T, m *Manager, units int) map[string]obs.Explain {
+	t.Helper()
+	if len(m.Explains) != units {
+		t.Fatalf("explain records: got %d, want exactly %d (one per unit)", len(m.Explains), units)
+	}
+	byUnit := map[string]obs.Explain{}
+	for _, e := range m.Explains {
+		if _, dup := byUnit[e.Unit]; dup {
+			t.Fatalf("duplicate explain record for unit %s", e.Unit)
+		}
+		byUnit[e.Unit] = e
+	}
+	return byUnit
+}
+
+// TestExplainColdBuild: every unit of a cold build is compiled with
+// reason "cold" and no old pid.
+func TestExplainColdBuild(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	byUnit := explainByUnit(t, m, 3)
+	for unit, e := range byUnit {
+		if e.Action != obs.ActionCompiled || e.Reason != obs.ReasonCold {
+			t.Errorf("%s: action=%s reason=%s, want compiled/cold", unit, e.Action, e.Reason)
+		}
+		if e.OldPid != "" {
+			t.Errorf("%s: cold build has old pid %s", unit, e.OldPid)
+		}
+		if e.NewPid == "" {
+			t.Errorf("%s: compiled unit has no new pid", unit)
+		}
+		if e.Policy != "cutoff" {
+			t.Errorf("%s: policy=%s, want cutoff", unit, e.Policy)
+		}
+	}
+}
+
+// TestExplainNullBuild: a no-op rebuild loads every unit with reason
+// "cached" and identical old and new pids.
+func TestExplainNullBuild(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	byUnit := explainByUnit(t, m, 3)
+	for unit, e := range byUnit {
+		if e.Action != obs.ActionLoaded || e.Reason != obs.ReasonCached {
+			t.Errorf("%s: action=%s reason=%s, want loaded/cached", unit, e.Action, e.Reason)
+		}
+		if e.OldPid == "" || e.OldPid != e.NewPid {
+			t.Errorf("%s: pids %q -> %q, want identical and non-empty", unit, e.OldPid, e.NewPid)
+		}
+		if e.SourceChanged || e.Cutoff || e.SavedByCutoff {
+			t.Errorf("%s: null build flags %+v, want all false", unit, e)
+		}
+	}
+}
+
+// TestExplainImplEditCutoff: an implementation-only edit of the base
+// unit recompiles it (source-changed, cutoff fires: same pid), and the
+// records for the untouched dependents say they were saved by the
+// cutoff — the paper's payoff, visible as data.
+func TestExplainImplEditCutoff(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Build(chainFiles(aV1Impl)); err != nil {
+		t.Fatal(err)
+	}
+	byUnit := explainByUnit(t, m, 3)
+
+	a := byUnit["a.sml"]
+	if a.Action != obs.ActionCompiled || a.Reason != obs.ReasonSourceChanged {
+		t.Errorf("a.sml: action=%s reason=%s, want compiled/source-changed", a.Action, a.Reason)
+	}
+	if !a.SourceChanged || !a.Cutoff {
+		t.Errorf("a.sml: source_changed=%v cutoff=%v, want both true", a.SourceChanged, a.Cutoff)
+	}
+	if a.OldPid != a.NewPid || a.OldPid == "" {
+		t.Errorf("a.sml: impl edit changed pid %q -> %q", a.OldPid, a.NewPid)
+	}
+
+	// b depends on a directly; c transitively. Both load, and both
+	// know they only loaded because the cutoff held.
+	for _, unit := range []string{"b.sml", "c.sml"} {
+		e := byUnit[unit]
+		if e.Action != obs.ActionLoaded || e.Reason != obs.ReasonCached {
+			t.Errorf("%s: action=%s reason=%s, want loaded/cached", unit, e.Action, e.Reason)
+		}
+		if !e.SavedByCutoff {
+			t.Errorf("%s: saved_by_cutoff=false, want true (a dependency recompiled)", unit)
+		}
+	}
+}
+
+// TestExplainInterfaceEditCascade: an interface edit of a changes a's
+// pid; b recompiles because of the dep interface change and carries
+// the old->new pid pair of the changed dependency; b's own interface
+// is unchanged, so c is cut off at b.
+func TestExplainInterfaceEditCascade(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Build(chainFiles(aV2Interface)); err != nil {
+		t.Fatal(err)
+	}
+	byUnit := explainByUnit(t, m, 3)
+
+	a := byUnit["a.sml"]
+	if a.Reason != obs.ReasonSourceChanged || a.OldPid == a.NewPid {
+		t.Errorf("a.sml: reason=%s pids %q -> %q, want source-changed with new pid",
+			a.Reason, a.OldPid, a.NewPid)
+	}
+	if a.Cutoff {
+		t.Errorf("a.sml: cutoff=true, but its interface changed")
+	}
+
+	b := byUnit["b.sml"]
+	if b.Action != obs.ActionCompiled || b.Reason != obs.ReasonDepInterfaceChanged {
+		t.Errorf("b.sml: action=%s reason=%s, want compiled/dep-interface-changed", b.Action, b.Reason)
+	}
+	if len(b.ChangedDeps) != 1 {
+		t.Fatalf("b.sml: %d changed deps, want 1", len(b.ChangedDeps))
+	}
+	if d := b.ChangedDeps[0]; d.Name != "a.sml" || d.OldPid != a.OldPid || d.NewPid != a.NewPid {
+		t.Errorf("b.sml changed dep %+v, want a.sml %s -> %s", d, a.OldPid, a.NewPid)
+	}
+	if !b.Cutoff {
+		t.Errorf("b.sml: cutoff=false, want true (b's own interface unchanged)")
+	}
+
+	c := byUnit["c.sml"]
+	if c.Action != obs.ActionLoaded || !c.SavedByCutoff {
+		t.Errorf("c.sml: action=%s saved_by_cutoff=%v, want loaded and saved", c.Action, c.SavedByCutoff)
+	}
+}
+
+// TestExplainUnreadableBin: an entry that passes store validation but
+// whose bin payload cannot be rehydrated is reported as
+// bin-unreadable (not a plain miss), the unit recompiles, and the
+// store heals (recovered).
+func TestExplainUnreadableBin(t *testing.T) {
+	store := NewMemStore()
+	m := &Manager{Store: store}
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := store.Load("a.sml")
+	if err != nil || e == nil {
+		t.Fatalf("load a.sml: %v %v", e, err)
+	}
+	e.Bin[0] ^= 0xff
+	if err := store.Save("a.sml", e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	byUnit := explainByUnit(t, m, 3)
+	a := byUnit["a.sml"]
+	if a.Action != obs.ActionCompiled || a.Reason != obs.ReasonBinUnreadable {
+		t.Errorf("a.sml: action=%s reason=%s, want compiled/bin-unreadable", a.Action, a.Reason)
+	}
+	if m.Stats.Corrupt != 1 || m.Stats.Recovered != 1 {
+		t.Errorf("corrupt=%d recovered=%d, want 1/1", m.Stats.Corrupt, m.Stats.Recovered)
+	}
+}
+
+// TestStatsMatchExplains: the Stats struct is a projection of the
+// counters, and both must agree with the explain records.
+func TestStatsMatchExplains(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Build(chainFiles(aV2Interface)); err != nil {
+		t.Fatal(err)
+	}
+	var compiled, loaded int
+	for _, e := range m.Explains {
+		switch e.Action {
+		case obs.ActionCompiled:
+			compiled++
+		case obs.ActionLoaded:
+			loaded++
+		}
+	}
+	if compiled != m.Stats.Compiled || loaded != m.Stats.Loaded {
+		t.Errorf("explains say compiled=%d loaded=%d; Stats say %d/%d",
+			compiled, loaded, m.Stats.Compiled, m.Stats.Loaded)
+	}
+	if m.Counters["build.compiled"] != int64(m.Stats.Compiled) {
+		t.Errorf("counter build.compiled=%d, Stats.Compiled=%d",
+			m.Counters["build.compiled"], m.Stats.Compiled)
+	}
+}
+
+// TestMemStoreLoadReturnsCopy: mutating a loaded entry must not
+// corrupt the store's copy (the aliasing bug: Load used to hand out
+// the stored pointer).
+func TestMemStoreLoadReturnsCopy(t *testing.T) {
+	store := NewMemStore()
+	m := &Manager{Store: store}
+	if _, err := m.Build(chainFiles(aV1)); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := store.Load("a.sml")
+	if err != nil || e1 == nil {
+		t.Fatalf("load: %v %v", e1, err)
+	}
+	orig := append([]byte(nil), e1.Bin...)
+	origPid := e1.StatPid
+	for i := range e1.Bin {
+		e1.Bin[i] = 0
+	}
+	e1.StatPid = pid.HashString("clobbered")
+	e1.DepNames = append(e1.DepNames, "phantom.sml")
+
+	e2, err := store.Load("a.sml")
+	if err != nil || e2 == nil {
+		t.Fatalf("reload: %v %v", e2, err)
+	}
+	if string(e2.Bin) != string(orig) {
+		t.Errorf("store entry bin corrupted through loaded alias")
+	}
+	if e2.StatPid != origPid {
+		t.Errorf("store entry pid corrupted through loaded alias")
+	}
+	for _, d := range e2.DepNames {
+		if d == "phantom.sml" {
+			t.Errorf("store entry deps corrupted through loaded alias")
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // lockFileName is the advisory lockfile guarding a DirStore directory.
@@ -40,10 +42,12 @@ func (s *DirStore) lockStaleAfter() time.Duration {
 // whose recorded process is dead, or that is older than
 // LockStaleAfter, is taken over.
 func (s *DirStore) Lock() (func(), error) {
+	t0 := time.Now()
 	s.mu.Lock()
 	fsys := s.fs()
 	lockPath := filepath.Join(s.Dir, lockFileName)
 	deadline := time.Now().Add(s.lockTimeout())
+	contended := false
 	for {
 		f, err := fsys.OpenFile(lockPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if err == nil {
@@ -51,6 +55,11 @@ func (s *DirStore) Lock() (func(), error) {
 			f.Sync()
 			f.Close()
 			s.sweepTemps()
+			obs.Count(s.Obs, "lock.acquires", 1)
+			obs.Count(s.Obs, "lock.wait_ns", int64(time.Since(t0)))
+			if contended {
+				obs.Count(s.Obs, "lock.contended", 1)
+			}
 			release := func() {
 				fsys.Remove(lockPath)
 				s.mu.Unlock()
@@ -61,15 +70,18 @@ func (s *DirStore) Lock() (func(), error) {
 			s.mu.Unlock()
 			return nil, err
 		}
+		contended = true
 		if s.lockIsStale(lockPath) {
 			// Best-effort takeover; if a competitor removed and
 			// re-acquired first, the next O_EXCL attempt just fails and
 			// we keep polling.
+			obs.Count(s.Obs, "lock.stale_takeovers", 1)
 			fsys.Remove(lockPath)
 			continue
 		}
 		if time.Now().After(deadline) {
 			s.mu.Unlock()
+			obs.Count(s.Obs, "lock.timeouts", 1)
 			holder, _ := fsys.ReadFile(lockPath)
 			return nil, fmt.Errorf("irm: store %s is locked (%s)",
 				s.Dir, strings.TrimSpace(string(holder)))

@@ -1,0 +1,43 @@
+package core
+
+import "repro/internal/obs"
+
+// Report assembles the machine-readable summary of the most recent
+// Build: the Stats view, per-phase timings, the raw counter deltas,
+// and the explain log. name labels the build (group file or program).
+func (m *Manager) Report(name string) obs.Report {
+	st := m.Stats
+	explain := m.Explains
+	if explain == nil {
+		explain = []obs.Explain{}
+	}
+	counters := m.Counters
+	if counters == nil {
+		counters = map[string]int64{}
+	}
+	return obs.Report{
+		Schema:     obs.ReportSchema,
+		Name:       name,
+		Policy:     m.Policy.String(),
+		Units:      st.Units,
+		Parsed:     st.Parsed,
+		Compiled:   st.Compiled,
+		Loaded:     st.Loaded,
+		Cutoffs:    st.Cutoffs,
+		Executed:   st.Executed,
+		Corrupt:    st.Corrupt,
+		Recovered:  st.Recovered,
+		SaveErrors: st.SaveErrors,
+		HashErrors: st.HashErrors,
+		TimingsNs: map[string]int64{
+			"parse":   int64(st.ParseTime),
+			"compile": int64(st.CompileTime),
+			"hash":    int64(st.HashTime),
+			"pickle":  int64(st.PickleTime),
+			"load":    int64(st.LoadTime),
+			"exec":    int64(st.ExecTime),
+		},
+		Counters: counters,
+		Explain:  explain,
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event object. Only "complete" events
+// (ph "X") are emitted: ts and dur are fractional microseconds
+// relative to the Collector's epoch, so sub-microsecond phases keep a
+// nonzero duration.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the loadable chrome://tracing / Perfetto envelope.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// usSince converts a time to fractional microseconds past the epoch.
+func usSince(epoch, t time.Time) float64 {
+	return float64(t.Sub(epoch)) / float64(time.Microsecond)
+}
+
+// events renders the span log as trace events; open spans run to now.
+func (c *Collector) events() []TraceEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	evs := make([]TraceEvent, 0, len(c.spans))
+	for _, s := range c.spans {
+		end := s.end
+		if !s.ended {
+			end = now
+		}
+		var args map[string]any
+		if len(s.args) > 0 {
+			args = make(map[string]any, len(s.args))
+			for k, v := range s.args {
+				args[k] = v
+			}
+		}
+		evs = append(evs, TraceEvent{
+			Name: s.name,
+			Cat:  s.cat,
+			Ph:   "X",
+			Ts:   usSince(c.epoch, s.start),
+			Dur:  usSince(s.start, end),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	return evs
+}
+
+// TraceJSON renders the span log as a Chrome trace_event file.
+func (c *Collector) TraceJSON() ([]byte, error) {
+	tf := TraceFile{
+		TraceEvents:     c.events(),
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"tool": "irm-obs/1"},
+	}
+	if tf.TraceEvents == nil {
+		tf.TraceEvents = []TraceEvent{}
+	}
+	return json.MarshalIndent(tf, "", " ")
+}
+
+// WriteTrace writes the Chrome trace_event file to w.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	data, err := c.TraceJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// jsonlSpan is the JSONL rendering of one span: flat, with explicit
+// ids so the hierarchy survives line-oriented processing.
+type jsonlSpan struct {
+	Type   string         `json:"type"` // "span"
+	ID     int            `json:"id"`
+	Parent int            `json:"parent"` // 0 for roots
+	Name   string         `json:"name"`
+	Cat    string         `json:"cat"`
+	TsUs   float64        `json:"ts_us"`
+	DurUs  float64        `json:"dur_us"`
+	Args   map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL writes the full telemetry log as JSON lines: one line
+// per span (type "span"), one per explain record (type "explain"),
+// and a final counters line (type "counters").
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	c.mu.Lock()
+	spans := append([]*Span(nil), c.spans...)
+	explains := append([]Explain(nil), c.explains...)
+	epoch := c.epoch
+	c.mu.Unlock()
+	now := time.Now()
+	for _, s := range spans {
+		end := s.end
+		if !s.ended {
+			end = now
+		}
+		if err := enc.Encode(jsonlSpan{
+			Type: "span", ID: s.id, Parent: s.parentID,
+			Name: s.name, Cat: s.cat,
+			TsUs: usSince(epoch, s.start), DurUs: usSince(s.start, end),
+			Args: s.args,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, e := range explains {
+		line := struct {
+			Type string `json:"type"`
+			Explain
+		}{"explain", e}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(struct {
+		Type     string           `json:"type"`
+		Counters map[string]int64 `json:"counters"`
+	}{"counters", c.Counters()})
+}
+
+// WriteExplainJSONL writes one JSON line per explain record — the
+// `-explain` stream of the CLIs.
+func WriteExplainJSONL(w io.Writer, explains []Explain) error {
+	enc := json.NewEncoder(w)
+	for _, e := range explains {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obs: encoding explain record: %v", err)
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/env"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -29,6 +30,10 @@ func errorsAs(err error, target **compiler.CompileError) bool {
 // REPL is an interactive session.
 type REPL struct {
 	Session *compiler.Session
+	// Obs, when non-nil, receives one unit span per top-level input
+	// (with compile-or-retry and print phases) and the repl.inputs /
+	// repl.errors counters — the smlrepl -trace surface.
+	Obs     *obs.Collector
 	counter int
 }
 
@@ -48,21 +53,33 @@ func New(stdout io.Writer) (*REPL, error) {
 func (r *REPL) Eval(src string) (string, error) {
 	r.counter++
 	name := fmt.Sprintf("it%d", r.counter)
+	r.Obs.Add("repl.inputs", 1)
+	uspan := r.Obs.StartSpan(obs.CatUnit, name)
+	defer uspan.End()
+	cspan := uspan.Child(obs.CatPhase, "run")
 	u, err := r.Session.Run(name, src)
+	cspan.End()
 	if err != nil {
 		// Retry as an expression bound to `it`. Only worthwhile when
 		// the failure was syntactic (an expression is not a program).
 		var ce *compiler.CompileError
 		if errorsAs(err, &ce) {
-			if u2, err2 := r.Session.Run(name, "val it = ("+src+"\n)"); err2 == nil {
+			rspan := uspan.Child(obs.CatPhase, "retry-as-expression")
+			u2, err2 := r.Session.Run(name, "val it = ("+src+"\n)")
+			rspan.End()
+			if err2 == nil {
 				u = u2
 				err = nil
 			}
 		}
 		if err != nil {
+			r.Obs.Add("repl.errors", 1)
+			uspan.Arg("error", err.Error())
 			return "", err
 		}
 	}
+	pspan := uspan.Child(obs.CatPhase, "print")
+	defer pspan.End()
 	var sb strings.Builder
 	for _, w := range u.Warnings {
 		fmt.Fprintf(&sb, "warning: %s\n", w)
