@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -12,18 +13,21 @@ import (
 	"repro/internal/workload"
 )
 
-// BenchSchema identifies the BENCH_irm.json format.
-const BenchSchema = "irm-bench/1"
+// BenchSchema identifies the BENCH_irm.json format. Version 2 nests
+// the edit matrix under per-job-count runs and records the parallel
+// cold-build speedup.
+const BenchSchema = "irm-bench/2"
 
 // BenchFile is the machine-readable output of `irm bench`: the edit
 // matrix of the paper's evaluation (cold / null / implementation edit
-// / interface edit) run against one generated project, with wall
-// time, Stats, phase timings, and raw counters per scenario — the
-// repo's perf trajectory as data.
+// / interface edit) run against one generated project at each worker
+// count, with wall time, Stats, phase timings, and raw counters per
+// scenario — the repo's perf trajectory as data.
 type BenchFile struct {
-	Schema    string          `json:"schema"`
-	Config    BenchConfig     `json:"config"`
-	Scenarios []BenchScenario `json:"scenarios"`
+	Schema  string       `json:"schema"`
+	Config  BenchConfig  `json:"config"`
+	Matrix  []BenchRun   `json:"matrix"`
+	Speedup BenchSpeedup `json:"speedup"`
 }
 
 // BenchConfig echoes the workload parameters the run used.
@@ -35,6 +39,12 @@ type BenchConfig struct {
 	Policy       string `json:"policy"`
 }
 
+// BenchRun is the edit matrix at one scheduler width.
+type BenchRun struct {
+	Jobs      int             `json:"jobs"`
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
 // BenchScenario is one build of the edit matrix.
 type BenchScenario struct {
 	Name   string     `json:"name"`
@@ -42,10 +52,20 @@ type BenchScenario struct {
 	Report obs.Report `json:"report"`
 }
 
-// cmdBench runs the bench harness: generate a layered project, build
-// it cold, null, after an implementation-only edit (cutoff), and
-// after an interface edit (cascade), all against one on-disk store,
-// and write the results as JSON.
+// BenchSpeedup compares the cold build across scheduler widths — the
+// headline number of the parallel scheduler.
+type BenchSpeedup struct {
+	Jobs         int     `json:"jobs"`            // the parallel width measured
+	ColdWallNsJ1 int64   `json:"cold_wall_ns_j1"` // cold build, one worker
+	ColdWallNsJN int64   `json:"cold_wall_ns_jn"` // cold build, Jobs workers
+	ColdSpeedup  float64 `json:"cold_speedup"`    // j1 / jn wall-time ratio
+}
+
+// cmdBench runs the bench harness: generate a layered project, then
+// for each scheduler width (-j1 and -jN) build it cold, null, after an
+// implementation-only edit (cutoff), and after an interface edit
+// (cascade), each width against its own fresh on-disk store, and write
+// the results as JSON.
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_irm.json", "output file (- for stdout)")
@@ -53,6 +73,7 @@ func cmdBench(args []string) {
 	lines := fs.Int("lines", 30, "approximate lines per unit")
 	seed := fs.Int64("seed", 1994, "workload generator seed")
 	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
+	jobs := fs.Int("j", 0, "parallel width to compare against -j1 (0 = one per core)")
 	fs.Parse(args)
 
 	cfg := workload.Config{
@@ -69,12 +90,14 @@ func cmdBench(args []string) {
 	default:
 		usage()
 	}
-
-	storeDir, err := os.MkdirTemp("", "irm-bench-store-")
-	if err != nil {
-		fatal(err)
+	jn := *jobs
+	if jn <= 0 {
+		jn = runtime.GOMAXPROCS(0)
 	}
-	defer os.RemoveAll(storeDir)
+	widths := []int{1}
+	if jn != 1 {
+		widths = append(widths, jn)
+	}
 
 	// The edited unit is the base of the DAG, so the interface edit
 	// cascades through the widest possible cone.
@@ -95,27 +118,46 @@ func cmdBench(args []string) {
 			Shape: cfg.Shape.String(), Seed: cfg.Seed, Policy: pol.String(),
 		},
 	}
-	for _, sc := range scenarios {
-		store, err := core.NewDirStore(storeDir)
+	coldWall := map[int]int64{}
+	for _, w := range widths {
+		storeDir, err := os.MkdirTemp("", "irm-bench-store-")
 		if err != nil {
 			fatal(err)
 		}
-		col := obs.New()
-		store.Obs = col
-		m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, Obs: col}
-		t0 := time.Now()
-		if _, err := m.Build(sc.files); err != nil {
-			fatal(fmt.Errorf("bench scenario %s: %v", sc.name, err))
+		defer os.RemoveAll(storeDir)
+		run := BenchRun{Jobs: w}
+		for _, sc := range scenarios {
+			store, err := core.NewDirStore(storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			col := obs.New()
+			store.Obs = col
+			m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, Obs: col, Jobs: w}
+			t0 := time.Now()
+			if _, err := m.Build(sc.files); err != nil {
+				fatal(fmt.Errorf("bench scenario %s (-j%d): %v", sc.name, w, err))
+			}
+			wall := time.Since(t0)
+			if sc.name == "cold" {
+				coldWall[w] = int64(wall)
+			}
+			run.Scenarios = append(run.Scenarios, BenchScenario{
+				Name:   sc.name,
+				WallNs: int64(wall),
+				Report: m.Report(sc.name),
+			})
+			fmt.Fprintf(os.Stderr, "irm bench: -j%-2d %-14s %10v  compiled %3d, loaded %3d, cutoffs %3d\n",
+				w, sc.name, wall.Round(time.Microsecond), m.Stats.Compiled, m.Stats.Loaded, m.Stats.Cutoffs)
 		}
-		wall := time.Since(t0)
-		bf.Scenarios = append(bf.Scenarios, BenchScenario{
-			Name:   sc.name,
-			WallNs: int64(wall),
-			Report: m.Report(sc.name),
-		})
-		fmt.Fprintf(os.Stderr, "irm bench: %-14s %10v  compiled %3d, loaded %3d, cutoffs %3d\n",
-			sc.name, wall.Round(time.Microsecond), m.Stats.Compiled, m.Stats.Loaded, m.Stats.Cutoffs)
+		bf.Matrix = append(bf.Matrix, run)
 	}
+	bf.Speedup = BenchSpeedup{Jobs: jn, ColdWallNsJ1: coldWall[1], ColdWallNsJN: coldWall[jn]}
+	if coldWall[jn] > 0 {
+		bf.Speedup.ColdSpeedup = float64(coldWall[1]) / float64(coldWall[jn])
+	}
+	fmt.Fprintf(os.Stderr, "irm bench: cold speedup -j%d vs -j1: %.2fx\n",
+		jn, bf.Speedup.ColdSpeedup)
 
 	w := io.Writer(os.Stdout)
 	if *out != "-" {

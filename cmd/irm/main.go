@@ -3,11 +3,15 @@
 // reusing cached bin files whenever the cutoff rule allows, and can
 // display dependency graphs and the §5 hash-collision analysis.
 //
-//	irm build group.cm [-store dir] [-policy cutoff|timestamp] [-v]
+//	irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
 //	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
-//	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n]
+//	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
 //	irm deps  group.cm
 //	irm collision [-pids n]
+//
+// -j sets the parallel scheduler's worker count (0, the default, means
+// one worker per core). Whatever -j, a build's outputs — bin files,
+// stats, explain records — are deterministic; see DESIGN.md §4e.
 //
 // Telemetry: -trace writes the build's span tree as Chrome
 // trace_event JSON (load it in chrome://tracing or Perfetto), -jsonl
@@ -86,9 +90,9 @@ func splitGroupArg(args []string) (group string, rest []string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  irm build group.cm [-store dir] [-policy cutoff|timestamp] [-v]
+  irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
             [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
-  irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n]
+  irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
   irm deps  group.cm
   irm show  file.sml ...
   irm collision [-pids n]`)
@@ -99,6 +103,7 @@ func cmdBuild(args []string) {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	storeDir := fs.String("store", ".irm-store", "bin cache directory")
 	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
+	jobs := fs.Int("j", 0, "parallel build workers (0 = one per core)")
 	verbose := fs.Bool("v", false, "log per-unit actions")
 	tracePath := fs.String("trace", "", "write Chrome trace_event JSON to this file")
 	jsonlPath := fs.String("jsonl", "", "write spans, explains, and counters as JSON lines to this file")
@@ -127,7 +132,7 @@ func cmdBuild(args []string) {
 	// One collector spans the manager, the store, and the lock path.
 	col := obs.New()
 	store.Obs = col
-	m := &core.Manager{Store: store, Stdout: os.Stdout, Obs: col}
+	m := &core.Manager{Store: store, Stdout: os.Stdout, Obs: col, Jobs: *jobs}
 	switch *policy {
 	case "cutoff":
 		m.Policy = core.PolicyCutoff

@@ -1,8 +1,12 @@
-// Command smlc is the batch compiler: it compiles SML source files, in
-// the order given, each against the environment exported by its
-// predecessors, and writes one bin file per unit (§3, §6 of the
-// paper). It prints each unit's intrinsic static pid and import pids —
-// the identities type-safe linkage is built on.
+// Command smlc is the batch compiler: it compiles SML source files,
+// discovering their dependency order automatically (§6), and writes one
+// bin file per unit (§3, §6 of the paper). It prints each unit's
+// intrinsic static pid and import pids — the identities type-safe
+// linkage is built on.
+//
+// Compilation runs on the parallel DAG scheduler shared with irm and
+// smlrun: -j sets the worker count (0 = one per core), and the bin
+// files written are identical whatever -j (DESIGN.md §4e).
 package main
 
 import (
@@ -13,71 +17,95 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/binfile"
-	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
+// binDirStore adapts the compile-only use case to the manager's Store:
+// every Save becomes a bin file in the output directory. Load always
+// misses, so each smlc run compiles everything fresh. The manager
+// treats save errors as non-fatal (the build continues uncached), but
+// an smlc run whose whole point is the bin files must not: the first
+// error is kept and reported after the build.
+type binDirStore struct {
+	dir   string
+	paths map[string]string // unit name -> written bin path
+	err   error             // first failed write
+}
+
+func (s *binDirStore) Load(name string) (*core.Entry, error) { return nil, nil }
+
+func (s *binDirStore) Save(name string, e *core.Entry) error {
+	path := filepath.Join(s.dir, strings.TrimSuffix(name, ".sml")+".bin")
+	if err := os.WriteFile(path, e.Bin, 0o644); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return err
+	}
+	s.paths[name] = path
+	return nil
+}
+
 func main() {
 	outDir := flag.String("d", ".", "directory for bin files")
+	jobs := flag.Int("j", 0, "parallel build workers (0 = one per core)")
 	verbose := flag.Bool("v", false, "print interfaces and imports")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	report := flag.String("report", "", "with 'json', write a machine-readable summary line to stderr")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-v] [-trace out.json] [-report json] file.sml ...")
+		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-j n] [-v] [-trace out.json] [-report json] file.sml ...")
 		os.Exit(2)
 	}
 	if *report != "" && *report != "json" {
 		fatal(fmt.Errorf("unknown -report format %q (want json)", *report))
 	}
 
-	col := obs.New()
-	root := col.StartSpan(obs.CatBuild, "smlc").Arg("units", flag.NArg())
-	sspan := root.Child(obs.CatPhase, "session")
-	session, err := compiler.NewSession(os.Stdout)
-	sspan.End()
-	if err != nil {
-		fatal(err)
-	}
+	var files []core.File
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
-		name := filepath.Base(path)
-		uspan := root.Child(obs.CatUnit, name)
-		cspan := uspan.Child(obs.CatPhase, "compile")
-		u, err := session.Run(name, string(src))
-		cspan.End()
-		col.Add("time.compile_ns", int64(cspan.Duration()))
-		if err != nil {
-			fatal(err)
+		files = append(files, core.File{Name: filepath.Base(path), Source: string(src)})
+	}
+
+	col := obs.New()
+	store := &binDirStore{dir: *outDir, paths: map[string]string{}}
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: store,
+		Stdout: os.Stdout, Obs: col, Jobs: *jobs}
+	session, err := m.Build(files)
+	if err != nil {
+		fatal(err)
+	}
+	if store.err != nil {
+		fatal(store.err)
+	}
+
+	// Report units in the order given on the command line, whatever
+	// order the scheduler compiled them in.
+	byName := map[string]int{}
+	for i, u := range session.Units {
+		byName[u.Name] = i
+	}
+	for _, f := range files {
+		i, ok := byName[f.Name]
+		if !ok {
+			continue
 		}
-		col.Add("build.compiled", 1)
-		binPath := filepath.Join(*outDir, strings.TrimSuffix(name, ".sml")+".bin")
-		pspan := uspan.Child(obs.CatPhase, "pickle")
-		data, err := binfile.EncodeObserved(u, col)
-		pspan.End()
-		col.Add("time.pickle_ns", int64(pspan.Duration()))
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(binPath, data, 0o644); err != nil {
-			fatal(err)
-		}
-		uspan.Arg("pid", u.StatPid.Short()).End()
-		fmt.Printf("%s: interface %s -> %s\n", name, u.StatPid.Short(), binPath)
+		u := session.Units[i]
+		fmt.Printf("%s: interface %s -> %s\n", u.Name, u.StatPid.Short(), store.paths[u.Name])
 		if *verbose {
-			for i, im := range u.Imports {
-				fmt.Printf("  import[%d] %s\n", i, im)
+			for k, im := range u.Imports {
+				fmt.Printf("  import[%d] %s\n", k, im)
 			}
 			for _, w := range u.Warnings {
 				fmt.Printf("  warning: %s\n", w)
 			}
 		}
 	}
-	root.End()
+
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {

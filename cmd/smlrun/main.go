@@ -23,6 +23,7 @@ import (
 func main() {
 	binMode := flag.Bool("bin", false, "arguments are bin files to link and run")
 	storeDir := flag.String("store", "", "bin cache directory (enables incremental reuse)")
+	jobs := flag.Int("j", 0, "parallel build workers (0 = one per core)")
 	verbose := flag.Bool("v", false, "log per-unit actions")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	explain := flag.Bool("explain", false, "stream one rebuild-decision JSON record per unit to stderr")
@@ -30,7 +31,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: smlrun [-bin] [-store dir] [-v] [-trace out.json] [-explain] [-report json] file ...")
+			"usage: smlrun [-bin] [-store dir] [-j n] [-v] [-trace out.json] [-explain] [-report json] file ...")
 		os.Exit(2)
 	}
 	if *report != "" && *report != "json" {
@@ -46,6 +47,7 @@ func main() {
 	m := core.NewManager()
 	m.Stdout = os.Stdout
 	m.Obs = col
+	m.Jobs = *jobs
 	if *verbose {
 		m.Log = os.Stderr
 	}

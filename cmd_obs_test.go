@@ -243,7 +243,7 @@ func TestTelemetryCLI(t *testing.T) {
 	t.Run("bench", func(t *testing.T) {
 		outPath := filepath.Join(work, "BENCH_irm.json")
 		_, stderr, err := runToolSplit(t, tools["irm"],
-			"bench", "-out", outPath, "-units", "6", "-lines", "8")
+			"bench", "-out", outPath, "-units", "6", "-lines", "8", "-j", "2")
 		if err != nil {
 			t.Fatalf("irm bench: %v\n%s", err, stderr)
 		}
@@ -251,49 +251,70 @@ func TestTelemetryCLI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		type scenario struct {
+			Name   string `json:"name"`
+			WallNs int64  `json:"wall_ns"`
+			Report struct {
+				Units    int `json:"units"`
+				Compiled int `json:"compiled"`
+				Loaded   int `json:"loaded"`
+				Cutoffs  int `json:"cutoffs"`
+			} `json:"report"`
+		}
 		var bf struct {
-			Schema    string `json:"schema"`
-			Scenarios []struct {
-				Name   string `json:"name"`
-				WallNs int64  `json:"wall_ns"`
-				Report struct {
-					Units    int `json:"units"`
-					Compiled int `json:"compiled"`
-					Loaded   int `json:"loaded"`
-					Cutoffs  int `json:"cutoffs"`
-				} `json:"report"`
-			} `json:"scenarios"`
+			Schema string `json:"schema"`
+			Matrix []struct {
+				Jobs      int        `json:"jobs"`
+				Scenarios []scenario `json:"scenarios"`
+			} `json:"matrix"`
+			Speedup struct {
+				Jobs         int     `json:"jobs"`
+				ColdWallNsJ1 int64   `json:"cold_wall_ns_j1"`
+				ColdWallNsJN int64   `json:"cold_wall_ns_jn"`
+				ColdSpeedup  float64 `json:"cold_speedup"`
+			} `json:"speedup"`
 		}
 		if err := json.Unmarshal(data, &bf); err != nil {
 			t.Fatalf("bench output is not valid JSON: %v", err)
 		}
-		if bf.Schema != "irm-bench/1" {
+		if bf.Schema != "irm-bench/2" {
 			t.Errorf("bench schema %q", bf.Schema)
 		}
+		if len(bf.Matrix) != 2 || bf.Matrix[0].Jobs != 1 || bf.Matrix[1].Jobs != 2 {
+			t.Fatalf("bench matrix widths: %+v, want -j1 and -j2 runs", bf.Matrix)
+		}
+		if bf.Speedup.Jobs != 2 || bf.Speedup.ColdWallNsJ1 <= 0 ||
+			bf.Speedup.ColdWallNsJN <= 0 || bf.Speedup.ColdSpeedup <= 0 {
+			t.Errorf("speedup record incomplete: %+v", bf.Speedup)
+		}
 		wantOrder := []string{"cold", "null", "impl-edit", "interface-edit"}
-		if len(bf.Scenarios) != len(wantOrder) {
-			t.Fatalf("%d scenarios, want %d", len(bf.Scenarios), len(wantOrder))
-		}
-		for i, sc := range bf.Scenarios {
-			if sc.Name != wantOrder[i] {
-				t.Errorf("scenario[%d]=%q, want %q", i, sc.Name, wantOrder[i])
+		for _, run := range bf.Matrix {
+			if len(run.Scenarios) != len(wantOrder) {
+				t.Fatalf("-j%d: %d scenarios, want %d", run.Jobs, len(run.Scenarios), len(wantOrder))
 			}
-			if sc.WallNs <= 0 {
-				t.Errorf("%s: wall_ns=%d", sc.Name, sc.WallNs)
+			for i, sc := range run.Scenarios {
+				if sc.Name != wantOrder[i] {
+					t.Errorf("-j%d: scenario[%d]=%q, want %q", run.Jobs, i, sc.Name, wantOrder[i])
+				}
+				if sc.WallNs <= 0 {
+					t.Errorf("-j%d %s: wall_ns=%d", run.Jobs, sc.Name, sc.WallNs)
+				}
+				if sc.Report.Units != 6 {
+					t.Errorf("-j%d %s: units=%d, want 6", run.Jobs, sc.Name, sc.Report.Units)
+				}
 			}
-			if sc.Report.Units != 6 {
-				t.Errorf("%s: units=%d, want 6", sc.Name, sc.Report.Units)
+			// The edit matrix's counts are scheduler-width invariant:
+			// the determinism contract, checked end-to-end.
+			if c := run.Scenarios[0].Report; c.Compiled != 6 || c.Loaded != 0 {
+				t.Errorf("-j%d cold: compiled=%d loaded=%d, want 6/0", run.Jobs, c.Compiled, c.Loaded)
 			}
-		}
-		if c := bf.Scenarios[0].Report; c.Compiled != 6 || c.Loaded != 0 {
-			t.Errorf("cold: compiled=%d loaded=%d, want 6/0", c.Compiled, c.Loaded)
-		}
-		if n := bf.Scenarios[1].Report; n.Compiled != 0 || n.Loaded != 6 {
-			t.Errorf("null: compiled=%d loaded=%d, want 0/6", n.Compiled, n.Loaded)
-		}
-		if ie := bf.Scenarios[2].Report; ie.Cutoffs < 1 || ie.Loaded == 0 {
-			t.Errorf("impl-edit: cutoffs=%d loaded=%d, want a cutoff with reuse",
-				ie.Cutoffs, ie.Loaded)
+			if n := run.Scenarios[1].Report; n.Compiled != 0 || n.Loaded != 6 {
+				t.Errorf("-j%d null: compiled=%d loaded=%d, want 0/6", run.Jobs, n.Compiled, n.Loaded)
+			}
+			if ie := run.Scenarios[2].Report; ie.Cutoffs < 1 || ie.Loaded == 0 {
+				t.Errorf("-j%d impl-edit: cutoffs=%d loaded=%d, want a cutoff with reuse",
+					run.Jobs, ie.Cutoffs, ie.Loaded)
+			}
 		}
 	})
 }

@@ -7,6 +7,10 @@
 // in place, so the same tree can be re-elaborated — which is how functor
 // application propagates transparent type information (Figure 1 of the
 // paper), and why functor bodies are pickled into bin files.
+//
+// Concurrency: AST nodes carry no synchronization. A tree is built by
+// one parser goroutine and read-only thereafter, so sharing a parsed
+// tree across goroutines that only read it is safe.
 package ast
 
 import (

@@ -10,6 +10,10 @@
 // the cross-unit pid/stamp machinery is anchored to. A second layer of
 // the basis (List utilities, Int/Real/String structures, etc.) is
 // written in SML itself (Prelude) and compiled as the first unit.
+//
+// Concurrency: the primitive environment is built once at package init
+// and never mutated afterwards; New returns fresh env layers, so the
+// package is safe for concurrent use.
 package basis
 
 import (

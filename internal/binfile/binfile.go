@@ -7,6 +7,12 @@
 // index; a reference to an interface that is not loaded (or whose
 // provider was recompiled to a different interface) fails here, before
 // anything can be linked — the first layer of type-safe linkage.
+//
+// Concurrency: Write is pure over its inputs. Read records rehydrated
+// objects in the pickle.Index it is given, so concurrent readers must
+// use private overlay indexes (pickle.NewOverlay) over a frozen shared
+// base — the discipline the parallel scheduler in internal/core
+// follows.
 package binfile
 
 import (

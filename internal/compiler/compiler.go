@@ -12,6 +12,12 @@
 // A Unit carries the exported static environment, the closed code
 // (λ imports . exports), the import pid vector, and the intrinsic
 // static pid of its interface.
+//
+// Concurrency: a Session is confined to one goroutine (the build's
+// coordinator). Compile itself may run in many goroutines at once,
+// provided each call's context env is layered over envs that are no
+// longer mutated — the property the parallel scheduler in
+// internal/core is built on.
 package compiler
 
 import (

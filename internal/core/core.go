@@ -16,16 +16,23 @@
 // For comparison benches the manager can also run a classical
 // timestamp ("make") policy, where any recompilation of a dependency —
 // interface-preserving or not — cascades to the whole downstream cone.
+//
+// Concurrency: one Manager runs one Build at a time, but
+// inside a Build units are compiled on a parallel worker pool (see
+// scheduler.go and DESIGN.md §4e); Manager.Jobs sets the width. The
+// Store is only ever called from the build's coordinator goroutine,
+// yet implementations must additionally tolerate concurrent Managers
+// (see the Store interface contract). Distinct Managers may run
+// concurrently as long as they do not share an obs.Collector.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"sync"
 	"time"
 
-	"repro/internal/binfile"
 	"repro/internal/compiler"
 	"repro/internal/depend"
 	"repro/internal/obs"
@@ -77,6 +84,13 @@ type Entry struct {
 // validation, any other error for I/O trouble. The Manager treats
 // every error as a cache miss and recompiles; corruption is never
 // silently linked.
+//
+// Thread safety: a single Build calls Load and Save from one goroutine
+// only (the scheduler's workers never touch the store), but multiple
+// Managers — goroutines in one process, or separate processes — may
+// share a store, so implementations must make Load and Save safe for
+// concurrent use. DirStore gets this from atomic single-file renames
+// plus the build-level Locker protocol; MemStore uses a mutex.
 type Store interface {
 	Load(name string) (*Entry, error)
 	Save(name string, e *Entry) error
@@ -125,9 +139,13 @@ func (e *Entry) Clone() *Entry {
 	return &c
 }
 
-// MemStore is an in-memory store (used by tests and benches).
+// MemStore is an in-memory store (used by tests and benches). It is
+// safe for concurrent use: tests routinely share one MemStore between
+// goroutine-per-Manager builds, which the Store contract requires to
+// work.
 type MemStore struct {
-	m map[string]*Entry
+	mu sync.RWMutex
+	m  map[string]*Entry
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -137,18 +155,26 @@ func NewMemStore() *MemStore { return &MemStore{m: map[string]*Entry{}} }
 // caller mutating it (or its Bin slice) cannot corrupt the cache in
 // place.
 func (s *MemStore) Load(name string) (*Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.m[name].Clone(), nil
 }
 
 // Save implements Store. The entry is copied on the way in, so later
 // caller-side mutation cannot reach the cache either.
 func (s *MemStore) Save(name string, e *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.m[name] = e.Clone()
 	return nil
 }
 
 // Len reports the number of cached units.
-func (s *MemStore) Len() int { return len(s.m) }
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
 
 // Stats counts what a build did. It is derived, after every Build,
 // from the telemetry counters of that build (see statsFromCounters) —
@@ -205,6 +231,12 @@ func statsFromCounters(c map[string]int64) Stats {
 type Manager struct {
 	Policy Policy
 	Store  Store
+	// Jobs is the scheduler's worker-pool width: how many units may be
+	// compiled (or rehydrated) concurrently. Zero or negative means
+	// runtime.GOMAXPROCS(0). Whatever the value, a build's outputs are
+	// deterministic: identical bin files, Stats, and explain records
+	// (see DESIGN.md §4e).
+	Jobs int
 	// Stdout receives program output during unit execution.
 	Stdout io.Writer
 	// Log, when non-nil, receives one line per unit describing the
@@ -346,205 +378,15 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 	}
 	deps := depend.Graph(infos)
 
-	// Phase 3: compile or load, in order. Every unit files exactly one
-	// explain record before its turn ends — also on fatal errors.
-	currentPids := map[string]pid.Pid{}
-	recompiled := map[string]bool{}
-	// atRisk marks units that loaded but sit downstream of a recompile:
-	// under the timestamp policy the whole cone would have rebuilt, so
-	// risk propagates through loaded units, not just direct edges.
-	atRisk := map[string]bool{}
-	for _, info := range order {
-		name := info.Name
-		depNames := append([]string(nil), deps[name]...)
-		sort.Strings(depNames)
-		depPids := make([]pid.Pid, len(depNames))
-		depRecompiled := false
-		depAtRisk := false
-		for i, d := range depNames {
-			depPids[i] = currentPids[d]
-			if recompiled[d] {
-				depRecompiled = true
-			}
-			if recompiled[d] || atRisk[d] {
-				depAtRisk = true
-			}
-		}
-
-		entry := entries[name]
-		exp := obs.Explain{Build: gen, Unit: name, Policy: m.Policy.String()}
-		if entry != nil {
-			exp.OldPid = entry.StatPid.String()
-		}
-		srcOK := entry != nil && entry.SrcHash == srcHashes[name]
-		exp.SourceChanged = entry != nil && !srcOK
-		depsOK := entry != nil && pidsEqual(entry.DepPids, depPids) &&
-			namesEqual(entry.DepNames, depNames)
-		var reuse bool
-		switch m.Policy {
-		case PolicyCutoff:
-			reuse = srcOK && depsOK
-		case PolicyTimestamp:
-			reuse = srcOK && !depRecompiled
-		}
-		reuse = reuse && entry != nil && len(entry.Bin) > 0
-
-		uspan := bspan.Child(obs.CatUnit, name)
-		binUnreadable := false
-		if reuse {
-			lspan := uspan.Child(obs.CatPhase, "load")
-			u, err := binfile.ReadObserved(entry.Bin, session.Index, col)
-			lspan.End()
-			col.Add("time.load_ns", int64(lspan.Duration()))
-			if err == nil {
-				espan := uspan.Child(obs.CatPhase, "exec")
-				execErr := compiler.Execute(session.Machine, u, session.Dyn)
-				espan.End()
-				col.Add("time.exec_ns", int64(espan.Duration()))
-				exp.Action = obs.ActionLoaded
-				exp.NewPid = u.StatPid.String()
-				if execErr != nil {
-					exp.Reason = obs.ReasonCached
-					exp.Error = execErr.Error()
-					col.Explain(exp)
-					uspan.End()
-					return nil, execErr
-				}
-				session.Accept(u)
-				currentPids[name] = u.StatPid
-				col.Add("build.loaded", 1)
-				col.Add("build.executed", 1)
-				exp.Reason = obs.ReasonCached
-				// The cutoff rule's payoff, as data: something upstream
-				// recompiled, yet this unit still loads from cache.
-				exp.SavedByCutoff = m.Policy == PolicyCutoff && depAtRisk
-				atRisk[name] = depAtRisk
-				col.Explain(exp)
-				uspan.Arg("action", obs.ActionLoaded).Arg("pid", u.StatPid.Short())
-				uspan.End()
-				m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, u.StatPid.Short())
-				continue
-			}
-			// The entry passed store validation but its bin failed to
-			// rehydrate — corruption caught by the inner format layer.
-			col.Add("cache.corrupt", 1)
-			corrupt[name] = true
-			binUnreadable = true
-			m.logf("[%s] %s: bin reload failed (%v); recompiling", m.Policy, name, err)
-		}
-
-		// Recompile, with the decision spelled out (most specific
-		// reason wins; see the obs.Reason* precedence order).
-		exp.Action = obs.ActionCompiled
-		switch {
-		case binUnreadable:
-			exp.Reason = obs.ReasonBinUnreadable
-		case corrupt[name]:
-			exp.Reason = obs.ReasonCorrupt
-		case entry == nil:
-			exp.Reason = obs.ReasonCold
-		case !srcOK:
-			exp.Reason = obs.ReasonSourceChanged
-		case m.Policy == PolicyCutoff && !depsOK:
-			exp.Reason = obs.ReasonDepInterfaceChanged
-			exp.ChangedDeps = depChanges(entry, depNames, depPids)
-		case m.Policy == PolicyTimestamp && depRecompiled:
-			exp.Reason = obs.ReasonDepRecompiled
-		default:
-			exp.Reason = obs.ReasonBinMissing
-		}
-
-		cspan := uspan.Child(obs.CatPhase, "compile")
-		u, err := session.Compile(name, sources[name])
-		cspan.End()
-		col.Add("time.compile_ns", int64(cspan.Duration()))
-		if err != nil {
-			exp.Error = err.Error()
-			col.Explain(exp)
-			uspan.End()
-			return nil, err
-		}
-		col.Add("build.compiled", 1)
-		exp.NewPid = u.StatPid.String()
-		if corrupt[name] {
-			// The unit's cache entry was corrupt and the rebuild
-			// succeeded: the store healed itself by recompilation.
-			col.Add("cache.recovered", 1)
-		}
-
-		// Attribute the hashing cost separately (E3's measurement). The
-		// elapsed time counts whether or not the hash succeeds; a
-		// failure is recorded, never silently dropped — the pid from
-		// compilation stays authoritative either way.
-		hspan := uspan.Child(obs.CatPhase, "hash")
-		_, _, herr := compiler.HashInterface(name, u.Env)
-		hspan.End()
-		col.Add("time.hash_ns", int64(hspan.Duration()))
-		if herr != nil {
-			col.Add("build.hash_errors", 1)
-			exp.HashError = herr.Error()
-			m.logf("[%s] %s: interface-hash measurement failed: %v",
-				m.Policy, name, herr)
-		}
-
-		if entry != nil && entry.StatPid == u.StatPid {
-			col.Add("build.cutoffs", 1)
-			exp.Cutoff = true
-			m.logf("[%s] %s: recompiled, interface UNCHANGED (%s) — dependents cut off",
-				m.Policy, name, u.StatPid.Short())
-		} else {
-			m.logf("[%s] %s: recompiled, interface %s", m.Policy, name, u.StatPid.Short())
-		}
-
-		pkspan := uspan.Child(obs.CatPhase, "pickle")
-		bin, err := binfile.EncodeObserved(u, col)
-		pkspan.End()
-		col.Add("time.pickle_ns", int64(pkspan.Duration()))
-		if err != nil {
-			exp.Error = err.Error()
-			col.Explain(exp)
-			uspan.End()
-			return nil, fmt.Errorf("%s: %v", name, err)
-		}
-
-		espan := uspan.Child(obs.CatPhase, "exec")
-		execErr := compiler.Execute(session.Machine, u, session.Dyn)
-		espan.End()
-		col.Add("time.exec_ns", int64(espan.Duration()))
-		if execErr != nil {
-			exp.Error = execErr.Error()
-			col.Explain(exp)
-			uspan.End()
-			return nil, execErr
-		}
-		col.Add("build.executed", 1)
-		session.Accept(u)
-
-		currentPids[name] = u.StatPid
-		recompiled[name] = true
-		svspan := uspan.Child(obs.CatPhase, "save")
-		serr := m.Store.Save(name, &Entry{
-			SrcHash:  srcHashes[name],
-			StatPid:  u.StatPid,
-			DepNames: depNames,
-			DepPids:  depPids,
-			Defs:     info.Defs,
-			Free:     info.Free,
-			Bin:      bin,
-		})
-		svspan.End()
-		if serr != nil {
-			// A failed save (ENOSPC, permissions) costs only future
-			// incrementality — the unit is already compiled, executed,
-			// and in scope, so the build itself proceeds.
-			col.Add("cache.save_errors", 1)
-			exp.SaveError = serr.Error()
-			m.logf("[%s] %s: saving bin failed (%v); continuing uncached",
-				m.Policy, name, serr)
-		}
-		col.Explain(exp)
-		uspan.Arg("action", obs.ActionCompiled).Arg("pid", u.StatPid.Short())
-		uspan.End()
+	// Phase 3: compile or load on the parallel DAG scheduler
+	// (scheduler.go). Workers run the per-unit-deterministic pipeline
+	// concurrently; a single committer executes, saves, and files
+	// explain records in topological order, so every unit still files
+	// exactly one explain record before its turn ends — also on fatal
+	// errors — and all outputs are independent of Jobs.
+	if err := m.schedule(col, gen, bspan, session, order, deps,
+		sources, srcHashes, entries, corrupt); err != nil {
+		return nil, err
 	}
 	return session, nil
 }

@@ -3,6 +3,9 @@
 // top-level names it defines and the free names it references, and the
 // unit dependency DAG is induced by matching references to definers —
 // no makefile is written by hand.
+//
+// Concurrency: Scan and Graph are pure functions of their inputs and
+// safe for concurrent use; Info values are read-only once built.
 package depend
 
 import (
@@ -34,6 +37,18 @@ const (
 	KeySig   = "g:"
 	KeyFct   = "f:"
 )
+
+// KeyOpen is a pseudo-definition marker recorded for units containing a
+// top-level `open`: the names such a unit re-exports are unknowable
+// without elaboration, so the scanner cannot match them to downstream
+// free references. Graph turns the marker into conservative barrier
+// edges (every later unit depends on the opener), which keeps both the
+// cutoff rule and the parallel scheduler's per-unit compile contexts
+// sound. The marker lives in Info.Defs so it survives the bin-file
+// cache like any other definition key; it can never collide with a
+// real name key ("v:", "t:", "s:", "g:", "f:") and is never referenced
+// free.
+const KeyOpen = "o:open"
 
 // Analyze parses a source file and computes its definition and free
 // sets.
@@ -129,8 +144,10 @@ func collectDefs(d ast.Dec, add func(string)) {
 			collectDefs(sub, add)
 		}
 	case *ast.OpenDec:
-		// Opened names are unknowable without elaboration; they do not
-		// contribute definitions for inter-unit matching.
+		// Opened names are unknowable without elaboration; they cannot
+		// contribute matchable definitions. Record the barrier marker
+		// instead — Graph makes every later unit depend on this one.
+		add(KeyOpen)
 	case *ast.StructureDec:
 		for _, sb := range d.Sbs {
 			add(KeyStr + sb.Name)
@@ -181,9 +198,30 @@ func Graph(infos []*Info) map[string][]string {
 		}
 	}
 
+	// Units with a top-level `open` (KeyOpen marker) re-export names the
+	// scanner cannot see, so every unit after one in file order gets a
+	// conservative barrier edge onto it: the opener's exports are part
+	// of the downstream unit's potential imports, for both scheduling
+	// and the cutoff rule.
+	var barriers []string
+	for _, info := range infos {
+		for _, key := range info.Defs {
+			if key == KeyOpen {
+				barriers = append(barriers, info.Name)
+				break
+			}
+		}
+	}
+
 	deps := map[string][]string{}
 	for _, info := range infos {
 		seen := map[string]bool{}
+		for _, b := range barriers {
+			if b != info.Name && fileIdx[b] < fileIdx[info.Name] {
+				seen[b] = true
+				deps[info.Name] = append(deps[info.Name], b)
+			}
+		}
 		for _, key := range info.Free {
 			// Prefer the latest definer listed before this file (it
 			// shadows earlier ones); fall back to a forward definer,

@@ -3,6 +3,11 @@
 // dynamic environment is threaded through unit executions — each
 // execution consumes the values of its import pids and binds its export
 // pids — so no global mutable state links compiled units together.
+//
+// Concurrency: an Env is not safe for concurrent mutation. The IRM
+// binds and reads it only from the build's coordinator goroutine —
+// unit execution is serialized in commit order even under a parallel
+// build.
 package dynenv
 
 import (

@@ -15,6 +15,11 @@
 //     application, which propagates actual types transparently
 //     (Figure 1) and creates exactly the inter-implementation
 //     dependencies the paper's cutoff recompilation is designed for.
+//
+// Concurrency: ElabUnit may run in many goroutines at once, provided
+// each call's context env is frozen (no longer mutated). Fresh type
+// variables draw from an atomic counter (internal/types), so parallel
+// elaborations never collide.
 package elab
 
 import (

@@ -8,6 +8,11 @@
 // and pickler rely on. The paper's "indexed" environments — stamp-keyed
 // maps used by the rehydrater to find real objects for stubs — are built
 // from these by internal/pickle.
+//
+// Concurrency: an Env is not safe for concurrent mutation, but a
+// frozen Env — one that is no longer written — may be read from any
+// number of goroutines. The parallel scheduler layers each unit's
+// private env over frozen dependency envs on exactly this contract.
 package env
 
 import (

@@ -15,6 +15,10 @@
 //   - Store wraps a core.Store and injects failures at the cache API
 //     level (reported corruption, failing saves), for Manager-level
 //     tests that need no disk at all.
+//
+// Concurrency: an FS serializes its own bookkeeping with an internal
+// mutex, but fault plans are stepped by one test goroutine at a time;
+// the harness does not run faulted builds in parallel.
 package faultfs
 
 import (

@@ -6,6 +6,10 @@
 // the record of exported values, so the whole dynamic state of a linked
 // program is carried in explicit value vectors — never in global
 // variables of the host.
+//
+// Concurrency: a Machine is confined to a single goroutine. The IRM
+// executes units only from the build's coordinator, in commit order,
+// so parallel builds never evaluate two units at once.
 package interp
 
 import (

@@ -4,6 +4,9 @@
 // expression" — a function from the vector of imported values to the
 // vector (record) of exported values. The interpreter in internal/interp
 // gives it dynamic semantics.
+//
+// Concurrency: terms are immutable after construction and safe to
+// share across goroutines.
 package lambda
 
 import (

@@ -6,6 +6,9 @@
 // sequences, alphanumeric identifiers (including primed forms like x'),
 // symbolic identifiers built from !%&$#+-/:<=>?@\~`^|*, and type
 // variables 'a, ”a.
+//
+// Concurrency: a Lexer holds per-scan state and is confined to one
+// goroutine; use one Lexer per concurrent parse.
 package lexer
 
 import (

@@ -7,6 +7,10 @@
 // the link set — so a stale bin file compiled against an interface
 // that has since changed simply cannot be linked, the failure the
 // paper's .h-file example shows classical linkers let through.
+//
+// Concurrency: Verify and Run mutate the shared dynamic environment
+// and machine, so callers serialize them externally — the IRM invokes
+// them only from the build's coordinator goroutine.
 package linker
 
 import (

@@ -23,6 +23,12 @@
 // All Collector and Span methods are safe on nil receivers, so
 // instrumented code never guards; a nil *Collector is a valid no-op
 // sink.
+//
+// Concurrency: a Collector is safe for concurrent use — counter adds,
+// span starts, and span ends may come from any worker goroutine, and
+// all methods are also safe on a nil receiver. A Buffer is not
+// synchronized: each scheduler worker owns one privately and the
+// coordinator flushes it in commit order (see internal/core).
 package obs
 
 import (
@@ -172,6 +178,7 @@ type Span struct {
 	parentID int
 	name     string
 	cat      string
+	lane     int
 	args     map[string]any
 	start    time.Time
 	end      time.Time
@@ -198,11 +205,28 @@ func (c *Collector) newSpan(parent *Span, cat, name string) *Span {
 	s := &Span{c: c, parent: parent, cat: cat, name: name, start: time.Now()}
 	if parent != nil {
 		s.parentID = parent.id
+		s.lane = parent.lane
 	}
 	c.mu.Lock()
 	s.id = len(c.spans) + 1
 	c.spans = append(c.spans, s)
 	c.mu.Unlock()
+	return s
+}
+
+// Lane assigns the span to a worker lane: lanes export as distinct
+// trace-event thread ids (tid = lane+1), so a Perfetto view of a
+// parallel build shows one track per scheduler worker instead of one
+// flat track. Children created after the call inherit the lane; lane
+// 0 (the default) is the coordinator track. Returns s for chaining;
+// safe on nil.
+func (s *Span) Lane(lane int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.c.mu.Lock()
+	s.lane = lane
+	s.c.mu.Unlock()
 	return s
 }
 

@@ -62,7 +62,7 @@ func (c *Collector) events() []TraceEvent {
 			Ts:   usSince(c.epoch, s.start),
 			Dur:  usSince(s.start, end),
 			Pid:  1,
-			Tid:  1,
+			Tid:  s.lane + 1,
 			Args: args,
 		})
 	}
@@ -100,6 +100,7 @@ type jsonlSpan struct {
 	Parent int            `json:"parent"` // 0 for roots
 	Name   string         `json:"name"`
 	Cat    string         `json:"cat"`
+	Lane   int            `json:"lane,omitempty"` // scheduler worker lane, 0 = coordinator
 	TsUs   float64        `json:"ts_us"`
 	DurUs  float64        `json:"dur_us"`
 	Args   map[string]any `json:"args,omitempty"`
@@ -126,7 +127,7 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 		}
 		if err := enc.Encode(jsonlSpan{
 			Type: "span", ID: s.id, Parent: s.parentID,
-			Name: s.name, Cat: s.cat,
+			Name: s.name, Cat: s.cat, Lane: s.lane,
 			TsUs: usSince(epoch, s.start), DurUs: usSince(s.start, end),
 			Args: s.args,
 		}); err != nil {

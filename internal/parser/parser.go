@@ -2,6 +2,9 @@
 // ML subset: the full core language (with user-declarable infix
 // operators resolved during parsing) and the module language
 // (structures, signatures, functors, transparent and opaque ascription).
+//
+// Concurrency: Parse allocates all its state per call and is safe for
+// concurrent use.
 package parser
 
 import (

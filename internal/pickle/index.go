@@ -14,9 +14,18 @@ import (
 // loaded or compiled so far, extending it incrementally as units are
 // added — avoiding the linear searches the paper identifies as its
 // dominant dehydration cost.
+//
+// An Index is not safe for concurrent mutation. The parallel build
+// scheduler therefore never shares a mutable Index across workers:
+// it freezes a base index over the session context once per build and
+// gives each rehydrating worker a private overlay (NewOverlay) whose
+// lookups fall back to the frozen parent without ever writing to it.
 type Index struct {
 	byStamp map[stamps.Stamp]any
 	visited map[any]bool
+	// parent, when non-nil, is a frozen fallback index (see NewOverlay).
+	// Lookups and registrations never mutate it.
+	parent *Index
 	// Lookups counts stub resolutions, for the ablation bench comparing
 	// indexed against linear context search.
 	Lookups int
@@ -27,14 +36,46 @@ func NewIndex() *Index {
 	return &Index{byStamp: map[stamps.Stamp]any{}, visited: map[any]bool{}}
 }
 
-// Len reports the number of indexed objects.
+// NewOverlay returns an empty index whose lookups fall back to parent.
+// The overlay owns all mutation: AddEnv and friends write only to the
+// overlay's maps, so one frozen parent can safely serve any number of
+// concurrent overlays as long as nothing mutates the parent itself.
+func NewOverlay(parent *Index) *Index {
+	ix := NewIndex()
+	ix.parent = parent
+	return ix
+}
+
+// Len reports the number of indexed objects (excluding the parent's).
 func (ix *Index) Len() int { return len(ix.byStamp) }
 
-// Lookup resolves a stamp to its object.
+// Lookup resolves a stamp to its object, consulting the parent chain
+// on a local miss. Only the receiving index's Lookups counter is
+// bumped: parents stay untouched.
 func (ix *Index) Lookup(s stamps.Stamp) (any, bool) {
 	ix.Lookups++
-	obj, ok := ix.byStamp[s]
-	return obj, ok
+	return ix.get(s)
+}
+
+// get resolves a stamp through the parent chain without counting.
+func (ix *Index) get(s stamps.Stamp) (any, bool) {
+	for p := ix; p != nil; p = p.parent {
+		if obj, ok := p.byStamp[s]; ok {
+			return obj, true
+		}
+	}
+	return nil, false
+}
+
+// seen reports whether the traversal has visited obj, here or in any
+// frozen parent.
+func (ix *Index) seen(obj any) bool {
+	for p := ix; p != nil; p = p.parent {
+		if p.visited[obj] {
+			return true
+		}
+	}
+	return false
 }
 
 // LookupTycon resolves a stamp expected to be a tycon.
@@ -82,7 +123,7 @@ func (ix *Index) add(s stamps.Stamp, obj any) {
 	if s.IsProvisional() {
 		return
 	}
-	if _, ok := ix.byStamp[s]; !ok {
+	if _, ok := ix.get(s); !ok {
 		ix.byStamp[s] = obj
 	}
 }
@@ -91,7 +132,7 @@ func (ix *Index) add(s stamps.Stamp, obj any) {
 // and registers it. Safe to call repeatedly; already-visited objects
 // are skipped.
 func (ix *Index) AddEnv(e *env.Env) {
-	if e == nil || ix.visited[e] {
+	if e == nil || ix.seen(e) {
 		return
 	}
 	ix.visited[e] = true
@@ -117,7 +158,7 @@ func (ix *Index) AddEnv(e *env.Env) {
 }
 
 func (ix *Index) addValBind(vb *env.ValBind) {
-	if vb == nil || ix.visited[vb] {
+	if vb == nil || ix.seen(vb) {
 		return
 	}
 	ix.visited[vb] = true
@@ -132,7 +173,7 @@ func (ix *Index) addValBind(vb *env.ValBind) {
 
 // AddTycon registers a tycon and everything reachable from it.
 func (ix *Index) AddTycon(tc *types.Tycon) {
-	if tc == nil || ix.visited[tc] {
+	if tc == nil || ix.seen(tc) {
 		return
 	}
 	ix.visited[tc] = true
@@ -146,7 +187,7 @@ func (ix *Index) AddTycon(tc *types.Tycon) {
 }
 
 func (ix *Index) addDataCon(dc *types.DataCon) {
-	if dc == nil || ix.visited[dc] {
+	if dc == nil || ix.seen(dc) {
 		return
 	}
 	ix.visited[dc] = true
@@ -155,7 +196,7 @@ func (ix *Index) addDataCon(dc *types.DataCon) {
 }
 
 func (ix *Index) addScheme(s *types.Scheme) {
-	if s == nil || ix.visited[s] {
+	if s == nil || ix.seen(s) {
 		return
 	}
 	ix.visited[s] = true
@@ -181,7 +222,7 @@ func (ix *Index) addTy(t types.Ty) {
 
 // AddStructure registers a structure and its components.
 func (ix *Index) AddStructure(s *env.Structure) {
-	if s == nil || ix.visited[s] {
+	if s == nil || ix.seen(s) {
 		return
 	}
 	ix.visited[s] = true
@@ -191,7 +232,7 @@ func (ix *Index) AddStructure(s *env.Structure) {
 
 // AddFunctor registers a functor and its closure.
 func (ix *Index) AddFunctor(f *env.Functor) {
-	if f == nil || ix.visited[f] {
+	if f == nil || ix.seen(f) {
 		return
 	}
 	ix.visited[f] = true

@@ -20,6 +20,12 @@
 // so that recompiling an unchanged source yields an unchanged hash
 // (cutoff recompilation), and it is also the order in which permanent
 // stamps are assigned afterwards.
+//
+// Concurrency: a Pickler or Unpickler is per-unit, single-goroutine
+// state. The Index supports a freeze-base/private-overlay discipline
+// (NewOverlay): a base index that is no longer written may be shared
+// read-only by any number of concurrent overlay readers — see the
+// Index type's documentation.
 package pickle
 
 import (

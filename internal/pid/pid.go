@@ -8,6 +8,9 @@
 // makes cutoff recompilation work, and what makes the collision analysis
 // matter: with 2^13 pids in a system there are about 2^25 pairs, so the
 // probability of any collision of 128-bit hashes is about 2^-102.
+//
+// Concurrency: Pid is a value type and every function here is pure,
+// so the package is safe for concurrent use.
 package pid
 
 import (

@@ -5,6 +5,9 @@
 // environment, and its exports are folded back into both — the
 // "compile-and-execute session" the paper derives from the same
 // primitives as separate compilation.
+//
+// Concurrency: a REPL session is single-threaded by construction —
+// one goroutine reads, compiles, and executes each input in turn.
 package repl
 
 import (

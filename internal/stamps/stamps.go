@@ -18,6 +18,9 @@
 // "these provisional pids are replaced with pids derived from the
 // hash"). Stamps imported from other units are already permanent and
 // are never rewritten.
+//
+// Concurrency: a Gen is safe for concurrent use — Fresh draws from an
+// atomic counter, so parallel elaborations never mint the same stamp.
 package stamps
 
 import (

@@ -5,6 +5,9 @@
 // Tofte, Harper, MacQueen): alphanumeric and symbolic identifiers,
 // reserved words of the core and module languages, and the special
 // constants (integer, word, real, character, string).
+//
+// Concurrency: tokens and positions are pure values, safe to share
+// across goroutines.
 package token
 
 import "fmt"

@@ -9,6 +9,10 @@
 // reproduction's own SML subset). Sizes are calibrated to match: the
 // default CompilerScale configuration produces ≈200 units and ≈65k
 // lines.
+//
+// Concurrency: Generate is a pure, deterministic function of its
+// Config, and Project values are read-only after generation; the
+// package is safe for concurrent use.
 package workload
 
 import (

@@ -1,0 +1,80 @@
+// Command docscheck is CI's docs-health gate: every package under
+// internal/ must have a package doc comment, and that comment must
+// state the package's concurrency contract (a "Concurrency:"
+// paragraph) — the discipline ARCHITECTURE.md §5 describes. Exits
+// non-zero listing every package that fails.
+//
+// Concurrency: a single-goroutine command-line tool.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "internal"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	var failed []string
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, d.Name())
+		doc, err := packageDoc(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+		switch {
+		case doc == "":
+			failed = append(failed, dir+": no package doc comment")
+		case !strings.Contains(doc, "Concurrency:"):
+			failed = append(failed, dir+": package doc states no concurrency contract (want a \"Concurrency:\" paragraph)")
+		}
+	}
+	if len(failed) > 0 {
+		for _, f := range failed {
+			fmt.Fprintln(os.Stderr, "docscheck:", f)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d package(s) failing docs health\n", len(failed))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages healthy\n", len(dirs))
+}
+
+// packageDoc returns the concatenated package doc comments of the
+// non-test Go files in dir ("" if none).
+func packageDoc(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	var docs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return "", err
+		}
+		if f.Doc != nil {
+			docs = append(docs, f.Doc.Text())
+		}
+	}
+	return strings.Join(docs, "\n"), nil
+}
