@@ -559,13 +559,14 @@ func BenchmarkAblationAlphaConv(b *testing.B) {
 		if len(errs) > 0 {
 			b.Fatal(errs[0])
 		}
-		h := pid.NewHasher()
-		pk := pickle.NewPickler(h, pid.Zero)
+		pk := pickle.NewPickler(pid.Zero)
 		pk.SetRawStamps(raw)
 		pk.Env(res.Env)
 		if pk.Err() != nil {
 			b.Fatal(pk.Err())
 		}
+		h := pid.NewHasher()
+		h.Write(pk.Bytes())
 		return h.Sum()
 	}
 	var alphaEq, rawEq bool

@@ -10,13 +10,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pickle"
 	"repro/internal/workload"
 )
 
-// BenchSchema identifies the BENCH_irm.json format. Version 2 nests
-// the edit matrix under per-job-count runs and records the parallel
-// cold-build speedup.
-const BenchSchema = "irm-bench/2"
+// BenchSchema identifies the BENCH_irm.json format. Version 3 adds
+// per-scenario heap-allocation deltas and the warm-env-cache record
+// (rehydration speedup and hit rate of the pid-keyed EnvCache).
+const BenchSchema = "irm-bench/3"
 
 // BenchFile is the machine-readable output of `irm bench`: the edit
 // matrix of the paper's evaluation (cold / null / implementation edit
@@ -24,10 +25,11 @@ const BenchSchema = "irm-bench/2"
 // count, with wall time, Stats, phase timings, and raw counters per
 // scenario — the repo's perf trajectory as data.
 type BenchFile struct {
-	Schema  string       `json:"schema"`
-	Config  BenchConfig  `json:"config"`
-	Matrix  []BenchRun   `json:"matrix"`
-	Speedup BenchSpeedup `json:"speedup"`
+	Schema    string         `json:"schema"`
+	Config    BenchConfig    `json:"config"`
+	Matrix    []BenchRun     `json:"matrix"`
+	Speedup   BenchSpeedup   `json:"speedup"`
+	WarmCache BenchWarmCache `json:"warm_cache"`
 }
 
 // BenchConfig echoes the workload parameters the run used.
@@ -45,11 +47,17 @@ type BenchRun struct {
 	Scenarios []BenchScenario `json:"scenarios"`
 }
 
-// BenchScenario is one build of the edit matrix.
+// BenchScenario is one build of the edit matrix. Allocs and
+// AllocBytes are heap-allocation deltas (runtime.MemStats Mallocs /
+// TotalAlloc) across the build; AllocsPerUnit divides by the project
+// size so widths and PRs compare on the same scale.
 type BenchScenario struct {
-	Name   string     `json:"name"`
-	WallNs int64      `json:"wall_ns"`
-	Report obs.Report `json:"report"`
+	Name          string     `json:"name"`
+	WallNs        int64      `json:"wall_ns"`
+	Allocs        uint64     `json:"allocs"`
+	AllocBytes    uint64     `json:"alloc_bytes"`
+	AllocsPerUnit uint64     `json:"allocs_per_unit"`
+	Report        obs.Report `json:"report"`
 }
 
 // BenchSpeedup compares the cold build across scheduler widths — the
@@ -59,6 +67,69 @@ type BenchSpeedup struct {
 	ColdWallNsJ1 int64   `json:"cold_wall_ns_j1"` // cold build, one worker
 	ColdWallNsJN int64   `json:"cold_wall_ns_jn"` // cold build, Jobs workers
 	ColdSpeedup  float64 `json:"cold_speedup"`    // j1 / jn wall-time ratio
+}
+
+// BenchWarmCache measures the pid-keyed rehydration cache
+// (pickle.EnvCache): after a cold build, two null rebuilds run on
+// fresh managers sharing one private cache. The first rebuild decodes
+// every environment (all misses, populating the cache); the second
+// serves every environment from the cache (all hits). Speedup is the
+// first rebuild's wall time over the second's.
+type BenchWarmCache struct {
+	ColdWallNs  int64   `json:"cold_wall_ns"`
+	Warm1WallNs int64   `json:"warm1_wall_ns"` // null rebuild, cold cache
+	Warm2WallNs int64   `json:"warm2_wall_ns"` // null rebuild, warm cache
+	Hits        int64   `json:"hits"`          // env-cache hits in rebuild 2
+	Misses      int64   `json:"misses"`        // env-cache misses in rebuild 1
+	HitRate     float64 `json:"hit_rate"`      // hits / loads in rebuild 2
+	Speedup     float64 `json:"speedup"`       // warm1 / warm2 wall ratio
+}
+
+// memDelta runs f and returns the heap-allocation deltas across it.
+func memDelta(f func()) (allocs, bytes uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// warmCacheRun measures BenchWarmCache on an in-memory store so the
+// rebuild wall times isolate rehydration cost from disk I/O.
+func warmCacheRun(files []core.File, pol core.Policy) (BenchWarmCache, error) {
+	store := core.NewMemStore()
+	cache := pickle.NewEnvCache(0)
+	build := func() (*core.Manager, int64, error) {
+		m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, EnvCache: cache}
+		t0 := time.Now()
+		_, err := m.Build(files)
+		return m, int64(time.Since(t0)), err
+	}
+	var wc BenchWarmCache
+	_, cold, err := build()
+	if err != nil {
+		return wc, err
+	}
+	m1, warm1, err := build()
+	if err != nil {
+		return wc, err
+	}
+	m2, warm2, err := build()
+	if err != nil {
+		return wc, err
+	}
+	wc = BenchWarmCache{
+		ColdWallNs: cold, Warm1WallNs: warm1, Warm2WallNs: warm2,
+		Hits:   m2.Counters["cache.env_hits"],
+		Misses: m1.Counters["cache.env_misses"],
+	}
+	if loads := m2.Counters["cache.env_hits"] + m2.Counters["cache.env_misses"]; loads > 0 {
+		wc.HitRate = float64(wc.Hits) / float64(loads)
+	}
+	if warm2 > 0 {
+		wc.Speedup = float64(warm1) / float64(warm2)
+	}
+	return wc, nil
 }
 
 // cmdBench runs the bench harness: generate a layered project, then
@@ -134,18 +205,26 @@ func cmdBench(args []string) {
 			col := obs.New()
 			store.Obs = col
 			m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, Obs: col, Jobs: w}
-			t0 := time.Now()
-			if _, err := m.Build(sc.files); err != nil {
-				fatal(fmt.Errorf("bench scenario %s (-j%d): %v", sc.name, w, err))
+			var wall time.Duration
+			var buildErr error
+			allocs, allocBytes := memDelta(func() {
+				t0 := time.Now()
+				_, buildErr = m.Build(sc.files)
+				wall = time.Since(t0)
+			})
+			if buildErr != nil {
+				fatal(fmt.Errorf("bench scenario %s (-j%d): %v", sc.name, w, buildErr))
 			}
-			wall := time.Since(t0)
 			if sc.name == "cold" {
 				coldWall[w] = int64(wall)
 			}
 			run.Scenarios = append(run.Scenarios, BenchScenario{
-				Name:   sc.name,
-				WallNs: int64(wall),
-				Report: m.Report(sc.name),
+				Name:          sc.name,
+				WallNs:        int64(wall),
+				Allocs:        allocs,
+				AllocBytes:    allocBytes,
+				AllocsPerUnit: allocs / uint64(len(p.Files)),
+				Report:        m.Report(sc.name),
 			})
 			fmt.Fprintf(os.Stderr, "irm bench: -j%-2d %-14s %10v  compiled %3d, loaded %3d, cutoffs %3d\n",
 				w, sc.name, wall.Round(time.Microsecond), m.Stats.Compiled, m.Stats.Loaded, m.Stats.Cutoffs)
@@ -158,6 +237,14 @@ func cmdBench(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "irm bench: cold speedup -j%d vs -j1: %.2fx\n",
 		jn, bf.Speedup.ColdSpeedup)
+
+	wc, err := warmCacheRun(p.Files, pol)
+	if err != nil {
+		fatal(fmt.Errorf("bench warm-cache run: %v", err))
+	}
+	bf.WarmCache = wc
+	fmt.Fprintf(os.Stderr, "irm bench: warm env-cache rebuild: %.2fx (hit rate %.0f%%, %d hits)\n",
+		wc.Speedup, wc.HitRate*100, wc.Hits)
 
 	w := io.Writer(os.Stdout)
 	if *out != "-" {

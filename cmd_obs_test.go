@@ -254,6 +254,7 @@ func TestTelemetryCLI(t *testing.T) {
 		type scenario struct {
 			Name   string `json:"name"`
 			WallNs int64  `json:"wall_ns"`
+			Allocs uint64 `json:"allocs"`
 			Report struct {
 				Units    int `json:"units"`
 				Compiled int `json:"compiled"`
@@ -273,11 +274,19 @@ func TestTelemetryCLI(t *testing.T) {
 				ColdWallNsJN int64   `json:"cold_wall_ns_jn"`
 				ColdSpeedup  float64 `json:"cold_speedup"`
 			} `json:"speedup"`
+			WarmCache struct {
+				Warm1WallNs int64   `json:"warm1_wall_ns"`
+				Warm2WallNs int64   `json:"warm2_wall_ns"`
+				Hits        int64   `json:"hits"`
+				Misses      int64   `json:"misses"`
+				HitRate     float64 `json:"hit_rate"`
+				Speedup     float64 `json:"speedup"`
+			} `json:"warm_cache"`
 		}
 		if err := json.Unmarshal(data, &bf); err != nil {
 			t.Fatalf("bench output is not valid JSON: %v", err)
 		}
-		if bf.Schema != "irm-bench/2" {
+		if bf.Schema != "irm-bench/3" {
 			t.Errorf("bench schema %q", bf.Schema)
 		}
 		if len(bf.Matrix) != 2 || bf.Matrix[0].Jobs != 1 || bf.Matrix[1].Jobs != 2 {
@@ -286,6 +295,12 @@ func TestTelemetryCLI(t *testing.T) {
 		if bf.Speedup.Jobs != 2 || bf.Speedup.ColdWallNsJ1 <= 0 ||
 			bf.Speedup.ColdWallNsJN <= 0 || bf.Speedup.ColdSpeedup <= 0 {
 			t.Errorf("speedup record incomplete: %+v", bf.Speedup)
+		}
+		// The warm-cache record: first null rebuild misses on all 6
+		// units, second hits on all 6.
+		if wc := bf.WarmCache; wc.Warm1WallNs <= 0 || wc.Warm2WallNs <= 0 ||
+			wc.Hits != 6 || wc.Misses != 6 || wc.HitRate != 1 || wc.Speedup <= 0 {
+			t.Errorf("warm-cache record incomplete: %+v", wc)
 		}
 		wantOrder := []string{"cold", "null", "impl-edit", "interface-edit"}
 		for _, run := range bf.Matrix {
@@ -298,6 +313,9 @@ func TestTelemetryCLI(t *testing.T) {
 				}
 				if sc.WallNs <= 0 {
 					t.Errorf("-j%d %s: wall_ns=%d", run.Jobs, sc.Name, sc.WallNs)
+				}
+				if sc.Allocs == 0 {
+					t.Errorf("-j%d %s: allocs=0, want a heap delta", run.Jobs, sc.Name)
 				}
 				if sc.Report.Units != 6 {
 					t.Errorf("-j%d %s: units=%d, want 6", run.Jobs, sc.Name, sc.Report.Units)

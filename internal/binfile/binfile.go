@@ -8,11 +8,13 @@
 // provider was recompiled to a different interface) fails here, before
 // anything can be linked — the first layer of type-safe linkage.
 //
-// Concurrency: Write is pure over its inputs. Read records rehydrated
-// objects in the pickle.Index it is given, so concurrent readers must
-// use private overlay indexes (pickle.NewOverlay) over a frozen shared
-// base — the discipline the parallel scheduler in internal/core
-// follows.
+// Concurrency: Write and Encode are pure over their inputs. Read
+// resolves stubs in the pickle.Index it is given, so concurrent
+// readers must use private overlay indexes (pickle.NewOverlay) over a
+// frozen shared base — the discipline the parallel scheduler in
+// internal/core follows. ReadCached additionally consults a
+// pickle.EnvCache, which is safe to share between any number of
+// concurrent readers and Managers.
 package binfile
 
 import (
@@ -21,6 +23,7 @@ import (
 	"io"
 
 	"repro/internal/compiler"
+	"repro/internal/env"
 	"repro/internal/lambda"
 	"repro/internal/obs"
 	"repro/internal/pickle"
@@ -32,27 +35,48 @@ const Magic = "SMLBIN01"
 
 // Write serializes a compiled unit.
 func Write(w io.Writer, u *compiler.Unit) error {
-	var buf bytes.Buffer
-	buf.WriteString(Magic)
-
-	p := pickle.NewPickler(&buf, u.StatPid)
-	p.Header(u.Name, u.StatPid, u.Imports, u.NumSlots)
-	p.Env(u.Env)
-	p.Lambda(u.Code)
-	if err := p.Err(); err != nil {
-		return fmt.Errorf("binfile: write %s: %v", u.Name, err)
+	data, err := Encode(u)
+	if err != nil {
+		return err
 	}
-	_, err := w.Write(buf.Bytes())
+	_, err = w.Write(data)
 	return err
 }
 
 // Encode serializes a compiled unit to bytes.
+//
+// When the unit carries the canonical pickle of its export environment
+// (compiler.Compile's fused hash+pickle traversal), the environment
+// segment is derived from it by patching the recorded provisional-
+// stamp sites with permanent stamps — no second traversal. The output
+// is byte-identical to the slow path either way (the golden invariant
+// of DESIGN.md §4f, pinned by TestBinfileGolden).
 func Encode(u *compiler.Unit) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := Write(&buf, u); err != nil {
-		return nil, err
+	p := pickle.NewPickler(u.StatPid)
+	p.Header(u.Name, u.StatPid, u.Imports, u.NumSlots)
+	header := p.Bytes()
+
+	if ep := u.EnvPickle; ep != nil {
+		out := make([]byte, 0, len(Magic)+len(header)+ep.PermanentSize(u.StatPid)+512)
+		out = append(out, Magic...)
+		out = append(out, header...)
+		out = ep.AppendPermanent(out, u.StatPid)
+		lp := pickle.NewPickler(u.StatPid)
+		lp.Lambda(u.Code)
+		if err := lp.Err(); err != nil {
+			return nil, fmt.Errorf("binfile: write %s: %v", u.Name, err)
+		}
+		return append(out, lp.Bytes()...), nil
 	}
-	return buf.Bytes(), nil
+
+	p.Env(u.Env)
+	p.Lambda(u.Code)
+	if err := p.Err(); err != nil {
+		return nil, fmt.Errorf("binfile: write %s: %v", u.Name, err)
+	}
+	out := make([]byte, 0, len(Magic)+len(p.Bytes()))
+	out = append(out, Magic...)
+	return append(out, p.Bytes()...), nil
 }
 
 // EncodeObserved is Encode with byte and failure accounting on rec
@@ -70,8 +94,14 @@ func EncodeObserved(u *compiler.Unit, rec obs.Recorder) ([]byte, error) {
 // ReadObserved is Read with byte and failure accounting on rec
 // (counters binfile.bytes_read, binfile.read_errors).
 func ReadObserved(data []byte, ix *pickle.Index, rec obs.Recorder) (*compiler.Unit, error) {
+	return ReadCachedObserved(data, ix, nil, rec)
+}
+
+// ReadCachedObserved is ReadCached with the byte and failure accounting
+// of ReadObserved layered on top of the cache counters.
+func ReadCachedObserved(data []byte, ix *pickle.Index, cache *pickle.EnvCache, rec obs.Recorder) (*compiler.Unit, error) {
 	obs.Count(rec, "binfile.bytes_read", int64(len(data)))
-	u, err := Read(data, ix)
+	u, err := ReadCached(data, ix, cache, rec)
 	if err != nil {
 		obs.Count(rec, "binfile.read_errors", 1)
 	}
@@ -81,12 +111,62 @@ func ReadObserved(data []byte, ix *pickle.Index, rec obs.Recorder) (*compiler.Un
 // Read rehydrates a unit from bin-file bytes, resolving external
 // references in the context index.
 func Read(data []byte, ix *pickle.Index) (*compiler.Unit, error) {
+	return ReadCached(data, ix, nil, nil)
+}
+
+// ReadCached is Read with an optional pid-keyed environment cache and
+// byte/hit accounting on rec (counters cache.env_hits, cache.env_misses,
+// cache.env_evictions).
+//
+// On a hit — the cache holds the bin's interface pid AND the cached
+// entry's env-segment bytes are identical to this bin's — the cached
+// environment and index fragment are shared, the env segment is
+// skipped, and only the header and code are decoded. The byte
+// comparison is what makes sharing sound: identical canonical streams
+// patched with the same pid are byte-identical, so segment equality is
+// exactly interface identity; the code segment, which a cutoff
+// recompilation may change without moving the pid, is always decoded
+// from the bytes at hand.
+func ReadCached(data []byte, ix *pickle.Index, cache *pickle.EnvCache, rec obs.Recorder) (*compiler.Unit, error) {
 	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
 		return nil, fmt.Errorf("binfile: bad magic")
 	}
-	u := pickle.NewUnpickler(bytes.NewReader(data[len(Magic):]), ix)
+	stream := data[len(Magic):]
+	u := pickle.NewUnpickler(stream, ix)
 	name, statPid, imports, numSlots := u.Header()
-	envLayer := u.Env()
+	if err := u.Err(); err != nil {
+		return nil, fmt.Errorf("binfile: read %s: %v", name, err)
+	}
+
+	var envLayer *env.Env
+	var frag *pickle.Fragment
+	envStart := u.Pos()
+	if cache != nil {
+		if ce := cache.Lookup(statPid); ce != nil &&
+			bytes.HasPrefix(stream[envStart:], ce.EnvBytes) {
+			obs.Count(rec, "cache.env_hits", 1)
+			envLayer, frag = ce.Env, ce.Frag
+			u.Skip(len(ce.EnvBytes))
+		}
+	}
+	if envLayer == nil {
+		if cache != nil {
+			obs.Count(rec, "cache.env_misses", 1)
+		}
+		envLayer = u.Env()
+		if err := u.Err(); err != nil {
+			return nil, fmt.Errorf("binfile: read %s: %v", name, err)
+		}
+		if cache != nil {
+			frag = pickle.NewFragment(envLayer)
+			seg := append([]byte(nil), stream[envStart:u.Pos()]...)
+			ce := &pickle.CachedEnv{
+				Env: envLayer, Frag: frag, EnvBytes: seg, Objs: u.TableLen(),
+			}
+			obs.Count(rec, "cache.env_evictions", int64(cache.Insert(statPid, ce)))
+		}
+	}
+
 	code := u.Lambda()
 	if err := u.Err(); err != nil {
 		return nil, fmt.Errorf("binfile: read %s: %v", name, err)
@@ -102,6 +182,7 @@ func Read(data []byte, ix *pickle.Index) (*compiler.Unit, error) {
 		Code:     fn,
 		Imports:  imports,
 		NumSlots: numSlots,
+		Frag:     frag,
 	}, nil
 }
 
@@ -112,7 +193,7 @@ func ReadHeader(data []byte) (name string, statPid pid.Pid, imports []pid.Pid, n
 	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
 		return "", pid.Zero, nil, 0, fmt.Errorf("binfile: bad magic")
 	}
-	u := pickle.NewUnpickler(bytes.NewReader(data[len(Magic):]), pickle.NewIndex())
+	u := pickle.NewUnpickler(data[len(Magic):], pickle.NewIndex())
 	name, statPid, imports, numSlots = u.Header()
 	return name, statPid, imports, numSlots, u.Err()
 }

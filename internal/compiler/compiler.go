@@ -23,6 +23,7 @@ package compiler
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dynenv"
 	"repro/internal/elab"
@@ -55,6 +56,20 @@ type Unit struct {
 	NumSlots int
 	// Warnings are non-fatal elaboration diagnostics.
 	Warnings []string
+
+	// EnvPickle, when non-nil, is the canonical dehydration of Env
+	// produced by the compile's single hash-and-pickle traversal;
+	// binfile.Encode derives the bin stream from it by stamp patching
+	// instead of re-traversing the environment (DESIGN.md §4f).
+	EnvPickle *pickle.EnvPickle
+	// Frag, when non-nil, is the pre-collected index fragment of a
+	// rehydrated Env (set by cached bin reads); Session.Accept merges
+	// it instead of re-walking the environment.
+	Frag *pickle.Fragment
+	// HashTime is the duration of the fused hash+pickle traversal
+	// inside Compile, kept separately attributable for the §6
+	// overhead measurement (counter time.hash_ns).
+	HashTime time.Duration
 }
 
 // ExportPid returns the dynamic pid of export slot i (§5: "derived from
@@ -97,14 +112,21 @@ func Compile(name, source string, context *env.Env) (*Unit, error) {
 		return nil, ce
 	}
 
-	statPid, prov, err := HashInterface(name, res.Env)
+	// Hash and pickle in one traversal (§5, §6): the canonical stream
+	// is both the hash input and — after stamp patching — the bin
+	// file's environment segment, so the environment is dehydrated
+	// exactly once per compilation.
+	t0 := time.Now()
+	ep, err := pickle.CanonicalEnv(res.Env)
 	if err != nil {
 		return nil, &CompileError{Unit: name, Msgs: []string{err.Error()}}
 	}
+	statPid := hashCanonical(name, ep)
+	hashDur := time.Since(t0)
 
 	// §5: replace provisional stamps with permanent ones derived from
 	// the hash, in the same order the hash's alpha-conversion assigned.
-	pickle.AssignPermanentStamps(prov, statPid)
+	pickle.AssignPermanentStamps(ep.Provisional(), statPid)
 
 	// Derive the dynamic export pids.
 	for i, sb := range res.Slots {
@@ -122,14 +144,25 @@ func Compile(name, source string, context *env.Env) (*Unit, error) {
 		warnings = append(warnings, w.Error())
 	}
 	return &Unit{
-		Name:     name,
-		StatPid:  statPid,
-		Env:      res.Env,
-		Code:     res.Code,
-		Imports:  res.ImportPids,
-		NumSlots: len(res.Slots),
-		Warnings: warnings,
+		Name:      name,
+		StatPid:   statPid,
+		Env:       res.Env,
+		Code:      res.Code,
+		Imports:   res.ImportPids,
+		NumSlots:  len(res.Slots),
+		Warnings:  warnings,
+		EnvPickle: ep,
+		HashTime:  hashDur,
 	}, nil
+}
+
+// hashCanonical seeds a hasher with the unit name and absorbs the
+// canonical stream — the intrinsic-pid computation of §5.
+func hashCanonical(name string, ep *pickle.EnvPickle) pid.Pid {
+	h := pid.NewHasher()
+	h.WriteString(name)
+	h.Write(ep.Bytes())
+	return h.Sum()
 }
 
 // HashInterface computes the intrinsic pid of an export environment:
@@ -138,15 +171,17 @@ func Compile(name, source string, context *env.Env) (*Unit, error) {
 // that two units with textually identical interfaces still receive
 // distinct stamps — preserving datatype generativity across units.
 // It returns the provisionally stamped objects in traversal order.
+//
+// Compile no longer calls this: its fused traversal (CanonicalEnv +
+// hashCanonical) produces the same pid from the same stream in one
+// pass. It remains the interface-hash primitive for clients of the
+// Visible Compiler that hold only an environment.
 func HashInterface(name string, e *env.Env) (pid.Pid, []any, error) {
-	h := pid.NewHasher()
-	h.WriteString(name)
-	p := pickle.NewPickler(h, pid.Zero)
-	p.Env(e)
-	if err := p.Err(); err != nil {
+	ep, err := pickle.CanonicalEnv(e)
+	if err != nil {
 		return pid.Zero, nil, err
 	}
-	return h.Sum(), p.Provisional(), nil
+	return hashCanonical(name, ep), ep.Provisional(), nil
 }
 
 // Execute runs a compiled unit against a dynamic environment (§3):

@@ -30,12 +30,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/depend"
 	"repro/internal/obs"
+	"repro/internal/pickle"
 	"repro/internal/pid"
 )
 
@@ -250,6 +252,13 @@ type Manager struct {
 	// Overlapping Builds must not share one collector (their per-build
 	// counter deltas would mix); concurrent managers get one each.
 	Obs *obs.Collector
+	// EnvCache, when non-nil, overrides the process-wide rehydration
+	// cache (pickle.SharedEnvCache) for this manager's bin reads. Set
+	// it to pickle.NewEnvCache(-1) to disable caching (cold-path
+	// benches), or to a private cache to isolate a measurement. The
+	// cache affects only rehydration cost, never outputs: hits require
+	// byte-identical environment segments.
+	EnvCache *pickle.EnvCache
 
 	// Stats describes the most recent Build.
 	Stats Stats
@@ -269,6 +278,14 @@ func (m *Manager) logf(format string, args ...any) {
 	if m.Log != nil {
 		fmt.Fprintf(m.Log, format+"\n", args...)
 	}
+}
+
+// envCache resolves the rehydration cache for this manager's builds.
+func (m *Manager) envCache() *pickle.EnvCache {
+	if m.EnvCache != nil {
+		return m.EnvCache
+	}
+	return pickle.SharedEnvCache()
 }
 
 // Build compiles (or reloads) every file of the group in dependency
@@ -422,26 +439,6 @@ func depChanges(entry *Entry, depNames []string, depPids []pid.Pid) []obs.DepCha
 	return out
 }
 
-func pidsEqual(a, b []pid.Pid) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+func pidsEqual(a, b []pid.Pid) bool { return slices.Equal(a, b) }
 
-func namesEqual(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+func namesEqual(a, b []string) bool { return slices.Equal(a, b) }

@@ -326,12 +326,13 @@ func (m *Manager) runUnit(t *unitTask, lane, gen int, bspan *obs.Span,
 		lspan := uspan.Child(obs.CatPhase, "load")
 		// Rehydrate against a private overlay: the frozen base plus
 		// this unit's dependency environments, never the (mutable)
-		// session index.
+		// session index. The process-wide EnvCache sits in front of the
+		// decode: a warm interface pid skips the env segment entirely.
 		ix := pickle.NewOverlay(baseIx)
 		for _, de := range t.depEnvs {
 			ix.AddEnv(de)
 		}
-		u, err := binfile.ReadObserved(t.entry.Bin, ix, buf)
+		u, err := binfile.ReadCachedObserved(t.entry.Bin, ix, m.envCache(), buf)
 		lspan.End()
 		buf.Add("time.load_ns", int64(lspan.Duration()))
 		if err == nil {
@@ -348,8 +349,10 @@ func (m *Manager) runUnit(t *unitTask, lane, gen int, bspan *obs.Span,
 		// rehydrate — corruption caught by the inner format layer.
 		buf.Add("cache.corrupt", 1)
 		binUnreadable = true
-		res.logs = append(res.logs, fmt.Sprintf(
-			"[%s] %s: bin reload failed (%v); recompiling", m.Policy, name, err))
+		if m.Log != nil {
+			res.logs = append(res.logs, fmt.Sprintf(
+				"[%s] %s: bin reload failed (%v); recompiling", m.Policy, name, err))
+		}
 	}
 
 	// Recompile, with the decision spelled out (most specific reason
@@ -400,27 +403,19 @@ func (m *Manager) runUnit(t *unitTask, lane, gen int, bspan *obs.Span,
 	}
 
 	// Attribute the hashing cost separately (E3's measurement). The
-	// elapsed time counts whether or not the hash succeeds; a failure
-	// is recorded, never silently dropped — the pid from compilation
-	// stays authoritative either way.
-	hspan := uspan.Child(obs.CatPhase, "hash")
-	_, _, herr := compiler.HashInterface(name, u.Env)
-	hspan.End()
-	buf.Add("time.hash_ns", int64(hspan.Duration()))
-	if herr != nil {
-		buf.Add("build.hash_errors", 1)
-		exp.HashError = herr.Error()
-		res.logs = append(res.logs, fmt.Sprintf(
-			"[%s] %s: interface-hash measurement failed: %v", m.Policy, name, herr))
-	}
+	// fused compile pipeline timed its own hash+pickle traversal, so
+	// the attribution is exact and costs no extra walk.
+	buf.Add("time.hash_ns", int64(u.HashTime))
 
 	if t.entry != nil && t.entry.StatPid == u.StatPid {
 		buf.Add("build.cutoffs", 1)
 		exp.Cutoff = true
-		res.logs = append(res.logs, fmt.Sprintf(
-			"[%s] %s: recompiled, interface UNCHANGED (%s) — dependents cut off",
-			m.Policy, name, u.StatPid.Short()))
-	} else {
+		if m.Log != nil {
+			res.logs = append(res.logs, fmt.Sprintf(
+				"[%s] %s: recompiled, interface UNCHANGED (%s) — dependents cut off",
+				m.Policy, name, u.StatPid.Short()))
+		}
+	} else if m.Log != nil {
 		res.logs = append(res.logs, fmt.Sprintf(
 			"[%s] %s: recompiled, interface %s", m.Policy, name, u.StatPid.Short()))
 	}
@@ -487,7 +482,9 @@ func (m *Manager) commitUnit(res *unitResult, col *obs.Collector,
 		col.Explain(exp)
 		uspan.Arg("action", obs.ActionLoaded).Arg("pid", res.unit.StatPid.Short())
 		uspan.End()
-		m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, res.unit.StatPid.Short())
+		if m.Log != nil {
+			m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, res.unit.StatPid.Short())
+		}
 		return nil
 	}
 

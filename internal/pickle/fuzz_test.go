@@ -1,0 +1,85 @@
+package pickle
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pid"
+)
+
+// FuzzReaderRoundTrip drives the zero-copy cursor against the
+// append-based writer: any sequence of primitive values must decode to
+// exactly what was encoded, and the cursor must land exactly on the
+// end of the stream. The fuzzer owns the value choices, so varint edge
+// cases (negative, max-width, zigzag boundaries) and string contents
+// are explored automatically.
+func FuzzReaderRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint64(0), "", false, 0.0, []byte{})
+	f.Add(int64(-1), uint64(1), "x", true, 2.5, []byte{0xff})
+	f.Add(int64(1<<62), uint64(1<<63), "héllo\x00world", true, -1e300,
+		bytes.Repeat([]byte{0xab}, 16))
+	f.Add(int64(-1<<62), uint64(1), "s", false, 0.0,
+		[]byte("0123456789abcdef0123456789abcdef"))
+
+	f.Fuzz(func(t *testing.T, i int64, u uint64, s string, b bool, fl float64, pb []byte) {
+		var p pid.Pid
+		copy(p[:], pb)
+
+		var w writer
+		w.varint(i)
+		w.uvarint(u)
+		w.string(s)
+		w.bool(b)
+		w.float64(fl)
+		w.pid(p)
+		w.byteVal(0x7f)
+		if w.err != nil {
+			t.Fatalf("writer error: %v", w.err)
+		}
+
+		r := reader{data: w.buf}
+		if got := r.varint(); got != i {
+			t.Errorf("varint %d != %d", got, i)
+		}
+		if got := r.uvarint(); got != u {
+			t.Errorf("uvarint %d != %d", got, u)
+		}
+		if got := r.string(); got != s {
+			t.Errorf("string %q != %q", got, s)
+		}
+		if got := r.bool(); got != b {
+			t.Errorf("bool %v != %v", got, b)
+		}
+		if got := r.float64(); got != fl && !(fl != fl && got != got) {
+			t.Errorf("float64 %v != %v", got, fl)
+		}
+		if got := r.pid(); got != p {
+			t.Errorf("pid %v != %v", got, p)
+		}
+		if got := r.byteVal(); got != 0x7f {
+			t.Errorf("byte %#x != 0x7f", got)
+		}
+		if r.err != nil {
+			t.Fatalf("reader error: %v", r.err)
+		}
+		if r.pos != len(w.buf) {
+			t.Errorf("cursor at %d, stream length %d", r.pos, len(w.buf))
+		}
+
+		// Every proper prefix must fail cleanly (EOF-class error), never
+		// decode garbage silently past the end or panic.
+		if len(w.buf) > 0 {
+			tr := reader{data: w.buf[:len(w.buf)-1]}
+			tr.varint()
+			tr.uvarint()
+			tr.string()
+			tr.bool()
+			tr.float64()
+			tr.pid()
+			tr.byteVal()
+			if tr.err == nil {
+				t.Error("truncated stream decoded without error")
+			}
+		}
+	})
+}

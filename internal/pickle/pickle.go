@@ -1,7 +1,7 @@
 package pickle
 
 import (
-	"io"
+	"encoding/binary"
 
 	"repro/internal/env"
 	"repro/internal/pid"
@@ -25,10 +25,11 @@ const (
 
 // Pickler dehydrates static-environment objects.
 type Pickler struct {
-	w *writer
+	w writer
 	// ownPid is the unit's intrinsic pid; objects stamped by other
-	// origins become stubs. Zero during the hash pass, when everything
-	// permanent is external and everything provisional is alpha-encoded.
+	// origins become stubs. Zero during the canonical pass, when
+	// everything permanent is external and everything provisional is
+	// alpha-encoded.
 	ownPid pid.Pid
 
 	seen   map[any]uint64
@@ -38,6 +39,14 @@ type Pickler struct {
 	// provisional records, in traversal order, the objects whose stamps
 	// were provisional — the order permanent stamps are assigned in.
 	provisional []any
+	// sites records where each provisional-stamp encoding landed in the
+	// stream, so AppendPermanent can patch them without re-traversing.
+	sites []stampSite
+	// pidSites records where each still-unassigned export pid landed:
+	// Compile derives export pids from the intrinsic pid after the
+	// canonical pass, so AppendPermanent re-reads the binding's field
+	// and overwrites the zero placeholder in place (same fixed width).
+	pidSites []pidSite
 
 	// rawStamps disables alpha conversion: provisional stamps are
 	// written with their raw generator indices. This exists only for
@@ -47,14 +56,32 @@ type Pickler struct {
 	rawStamps bool
 }
 
+// stampSite is one provisional-stamp encoding in the canonical stream:
+// the half-open byte range it occupies and the alpha ordinal — which is
+// also the index of the permanent stamp that replaces it (§5).
+type stampSite struct {
+	off, end int
+	ord      int64
+}
+
+// pidSite is one zero export-pid field in the canonical stream: the
+// offset of its fixed pid.Size bytes and the binding (*env.ValBind or
+// *env.StrBind) whose ExportPid field holds the value to patch in.
+type pidSite struct {
+	off int
+	obj any
+}
+
 // SetRawStamps toggles the alpha-conversion ablation (see rawStamps).
 func (p *Pickler) SetRawStamps(raw bool) { p.rawStamps = raw }
 
-// NewPickler returns a pickler writing to w. ownPid selects stub
-// behaviour (see Pickler.ownPid).
-func NewPickler(out io.Writer, ownPid pid.Pid) *Pickler {
+// NewPickler returns a pickler accumulating into an internal buffer
+// (see Bytes). ownPid selects stub behaviour (see Pickler.ownPid).
+// The buffer starts at 1KB: typical unit streams are a few hundred
+// bytes to a few KB, so most pickles reallocate at most twice.
+func NewPickler(ownPid pid.Pid) *Pickler {
 	return &Pickler{
-		w:      &writer{w: out},
+		w:      writer{buf: make([]byte, 0, 1024)},
 		ownPid: ownPid,
 		seen:   map[any]uint64{},
 		alpha:  map[stamps.Stamp]int64{},
@@ -64,12 +91,120 @@ func NewPickler(out io.Writer, ownPid pid.Pid) *Pickler {
 // Err returns the first write error.
 func (p *Pickler) Err() error { return p.w.err }
 
+// Bytes returns the stream written so far. The slice aliases the
+// pickler's buffer: it is valid until the next write.
+func (p *Pickler) Bytes() []byte { return p.w.buf }
+
 // BytesWritten reports the stream length so far.
-func (p *Pickler) BytesWritten() int { return p.w.n }
+func (p *Pickler) BytesWritten() int { return len(p.w.buf) }
 
 // Provisional returns the provisionally stamped objects in traversal
 // order (the order in which permanent stamps must be assigned).
 func (p *Pickler) Provisional() []any { return p.provisional }
+
+// EnvPickle is the product of one canonical (alpha-converted)
+// dehydration of an export environment: the byte stream that is hashed
+// into the unit's intrinsic pid, plus everything needed to derive the
+// bin-file form of the same environment without traversing it again.
+// Immutable once built; safe to share across goroutines.
+type EnvPickle struct {
+	data     []byte
+	sites    []stampSite
+	pidSites []pidSite
+	prov     []any
+	objs     int
+}
+
+// CanonicalEnv dehydrates e exactly once, in canonical form: the
+// unit's own (still provisional) stamps are alpha-converted to
+// traversal ordinals, everything stamped by another unit becomes a
+// stub. The returned EnvPickle serves both consumers of the stream:
+// Bytes is what the intrinsic pid hashes, and AppendPermanent emits
+// the bin-file encoding by patching the recorded stamp sites.
+func CanonicalEnv(e *env.Env) (*EnvPickle, error) {
+	p := NewPickler(pid.Zero)
+	p.Env(e)
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	return &EnvPickle{
+		data:     p.w.buf,
+		sites:    p.sites,
+		pidSites: p.pidSites,
+		prov:     p.provisional,
+		objs:     int(p.nextID),
+	}, nil
+}
+
+// Bytes returns the canonical alpha-converted stream (the hash input).
+func (ep *EnvPickle) Bytes() []byte { return ep.data }
+
+// Provisional returns the provisionally stamped objects in traversal
+// order, for AssignPermanentStamps.
+func (ep *EnvPickle) Provisional() []any { return ep.prov }
+
+// ObjCount reports how many objects the stream registers in the
+// back-reference table — the rehydration table size.
+func (ep *EnvPickle) ObjCount() int { return ep.objs }
+
+// AppendPermanent appends the bin-file form of the environment to dst:
+// the canonical stream with every provisional-stamp site patched to
+// the permanent stamp {unitPid, ordinal}. Because AssignPermanentStamps
+// gives the i-th provisional object index i+1 — the same ordinal the
+// alpha conversion used — the patched stream is byte-identical to a
+// fresh traversal after permanent assignment (the golden invariant the
+// single-pass rewrite preserves; DESIGN.md §4f).
+// Both site lists are in stream order, so a two-pointer merge patches
+// everything in one sweep over the canonical bytes. Stamp sites change
+// the encoding length; pid sites are fixed-width overwrites whose value
+// is the binding's current ExportPid — zero during the canonical pass,
+// assigned by the time a bin file is encoded.
+func (ep *EnvPickle) AppendPermanent(dst []byte, unitPid pid.Pid) []byte {
+	prev := 0
+	si, pi := 0, 0
+	for si < len(ep.sites) || pi < len(ep.pidSites) {
+		if pi >= len(ep.pidSites) || (si < len(ep.sites) && ep.sites[si].off < ep.pidSites[pi].off) {
+			s := ep.sites[si]
+			si++
+			dst = append(dst, ep.data[prev:s.off]...)
+			dst = append(dst, stampPerm)
+			dst = append(dst, unitPid[:]...)
+			dst = binary.AppendVarint(dst, s.ord)
+			prev = s.end
+			continue
+		}
+		s := ep.pidSites[pi]
+		pi++
+		dst = append(dst, ep.data[prev:s.off]...)
+		var ex pid.Pid
+		switch b := s.obj.(type) {
+		case *env.ValBind:
+			ex = b.ExportPid
+		case *env.StrBind:
+			ex = b.ExportPid
+		}
+		dst = append(dst, ex[:]...)
+		prev = s.off + pid.Size
+	}
+	return append(dst, ep.data[prev:]...)
+}
+
+// PermanentSize reports the length of the stream AppendPermanent
+// produces, for preallocating the destination. Each patched site
+// replaces the one-byte alpha tag + ordinal varint with a one-byte
+// permanent tag + 16-byte pid + the same ordinal varint.
+func (ep *EnvPickle) PermanentSize(unitPid pid.Pid) int {
+	n := len(ep.data)
+	for _, s := range ep.sites {
+		n += 1 + pid.Size + varintLen(s.ord) - (s.end - s.off)
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutVarint(buf[:], v)
+}
 
 // AssignPermanentStamps rewrites every provisional stamp encountered
 // during pickling to a permanent stamp derived from the unit's
@@ -99,22 +234,28 @@ func (p *Pickler) external(s stamps.Stamp) bool {
 }
 
 // stamp writes a stamp, alpha-converting provisional ones. owner is
-// recorded for later permanent assignment.
+// recorded for later permanent assignment, and the encoding's byte
+// range is recorded as a patch site for AppendPermanent.
 func (p *Pickler) stamp(s stamps.Stamp, owner any) {
 	if s.IsProvisional() {
-		n, ok := p.alpha[s]
+		ord, ok := p.alpha[s]
 		if !ok {
-			n = int64(len(p.provisional) + 1)
-			p.alpha[s] = n
+			ord = int64(len(p.provisional) + 1)
+			p.alpha[s] = ord
 			if owner != nil {
 				p.provisional = append(p.provisional, owner)
 			}
 		}
+		n := ord
 		if p.rawStamps {
 			n = s.Index // ablation: leak the generator counter
 		}
+		off := len(p.w.buf)
 		p.w.byteVal(stampAlpha)
 		p.w.varint(n)
+		if p.w.err == nil {
+			p.sites = append(p.sites, stampSite{off: off, end: len(p.w.buf), ord: ord})
+		}
 		return
 	}
 	p.w.byteVal(stampPerm)
@@ -192,7 +333,7 @@ func (p *Pickler) ValBind(vb *env.ValBind) {
 		p.w.bool(false)
 	}
 	p.w.int(vb.Slot)
-	p.w.pid(vb.ExportPid)
+	p.exportPid(vb.ExportPid, vb)
 	p.w.string(vb.Prim)
 	p.w.int(len(vb.Overload))
 	for _, tc := range vb.Overload {
@@ -204,7 +345,17 @@ func (p *Pickler) ValBind(vb *env.ValBind) {
 func (p *Pickler) StrBind(sb *env.StrBind) {
 	p.Structure(sb.Str)
 	p.w.int(sb.Slot)
-	p.w.pid(sb.ExportPid)
+	p.exportPid(sb.ExportPid, sb)
+}
+
+// exportPid writes a binding's export pid. A zero pid may still be
+// assigned after the canonical pass (Compile derives export pids from
+// the intrinsic pid), so its offset is recorded as a patch site.
+func (p *Pickler) exportPid(ex pid.Pid, owner any) {
+	if ex.IsZero() && p.w.err == nil {
+		p.pidSites = append(p.pidSites, pidSite{off: len(p.w.buf), obj: owner})
+	}
+	p.w.pid(ex)
 }
 
 // SigBind writes a signature binding: name, definition AST, closure.

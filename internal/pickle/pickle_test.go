@@ -31,19 +31,18 @@ func mkTycon(name string, origin pid.Pid, idx int64) *types.Tycon {
 // pickleEnv dehydrates e as owned by owner.
 func pickleEnv(t *testing.T, e *env.Env, owner pid.Pid) []byte {
 	t.Helper()
-	var buf bytes.Buffer
-	p := NewPickler(&buf, owner)
+	p := NewPickler(owner)
 	p.Env(e)
 	if err := p.Err(); err != nil {
 		t.Fatalf("pickle: %v", err)
 	}
-	return buf.Bytes()
+	return p.Bytes()
 }
 
 // unpickleEnv rehydrates with the given context index.
 func unpickleEnv(t *testing.T, data []byte, ix *Index) *env.Env {
 	t.Helper()
-	u := NewUnpickler(bytes.NewReader(data), ix)
+	u := NewUnpickler(data, ix)
 	e := u.Env()
 	if err := u.Err(); err != nil {
 		t.Fatalf("unpickle: %v", err)
@@ -112,7 +111,7 @@ func TestMissingStubReported(t *testing.T) {
 	})
 	data := pickleEnv(t, e, unitB)
 
-	u := NewUnpickler(bytes.NewReader(data), NewIndex())
+	u := NewUnpickler(data, NewIndex())
 	u.Env()
 	if u.Err() == nil {
 		t.Fatal("missing context object not reported")
@@ -218,16 +217,14 @@ func TestAlphaConversionMakesHashStampIndependent(t *testing.T) {
 		e.DefineVal("C", &env.ValBind{Scheme: c.Scheme, Con: c, Slot: -1})
 		return e
 	}
-	h1 := pid.NewHasher()
-	p1 := NewPickler(h1, pid.Zero)
+	p1 := NewPickler(pid.Zero)
 	p1.Env(build(stamps.NewGen(), 0))
 
-	h2 := pid.NewHasher()
-	p2 := NewPickler(h2, pid.Zero)
+	p2 := NewPickler(pid.Zero)
 	p2.Env(build(stamps.NewGen(), 1000))
 
-	if h1.Sum() != h2.Sum() {
-		t.Error("hash depends on provisional stamp counter (alpha conversion broken)")
+	if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+		t.Error("stream depends on provisional stamp counter (alpha conversion broken)")
 	}
 }
 
@@ -239,8 +236,7 @@ func TestAssignPermanentStamps(t *testing.T) {
 	e.DefineTycon("t", tc)
 	e.DefineStr("S", &env.StrBind{Str: st, Slot: 0})
 
-	var buf bytes.Buffer
-	p := NewPickler(&buf, pid.Zero)
+	p := NewPickler(pid.Zero)
 	p.Env(e)
 	AssignPermanentStamps(p.Provisional(), unitA)
 	if tc.Stamp.Origin != unitA || st.Stamp.Origin != unitA {
@@ -306,13 +302,12 @@ func TestASTRoundTrip(t *testing.T) {
 		}}},
 	}
 
-	var buf bytes.Buffer
-	p := NewPickler(&buf, pid.Zero)
+	p := NewPickler(pid.Zero)
 	p.Decs(decs)
 	if p.Err() != nil {
 		t.Fatal(p.Err())
 	}
-	u := NewUnpickler(bytes.NewReader(buf.Bytes()), NewIndex())
+	u := NewUnpickler(p.Bytes(), NewIndex())
 	out := u.Decs()
 	if u.Err() != nil {
 		t.Fatal(u.Err())
@@ -321,10 +316,9 @@ func TestASTRoundTrip(t *testing.T) {
 		t.Fatalf("dec count %d", len(out))
 	}
 	// Deep equality via re-pickling: identical streams.
-	var buf2 bytes.Buffer
-	p2 := NewPickler(&buf2, pid.Zero)
+	p2 := NewPickler(pid.Zero)
 	p2.Decs(out)
-	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+	if !bytes.Equal(p.Bytes(), p2.Bytes()) {
 		t.Error("AST round trip not canonical")
 	}
 }
@@ -346,13 +340,12 @@ func TestLambdaRoundTrip(t *testing.T) {
 			},
 		},
 	}}
-	var buf bytes.Buffer
-	p := NewPickler(&buf, pid.Zero)
+	p := NewPickler(pid.Zero)
 	p.Lambda(e)
 	if p.Err() != nil {
 		t.Fatal(p.Err())
 	}
-	u := NewUnpickler(bytes.NewReader(buf.Bytes()), NewIndex())
+	u := NewUnpickler(p.Bytes(), NewIndex())
 	out := u.Lambda()
 	if u.Err() != nil {
 		t.Fatal(u.Err())
@@ -367,8 +360,7 @@ func TestFreeVarRejected(t *testing.T) {
 	e.DefineVal("x", &env.ValBind{
 		Scheme: types.MonoScheme(types.NewVar(0)), Slot: 0,
 	})
-	var buf bytes.Buffer
-	p := NewPickler(&buf, unitA)
+	p := NewPickler(unitA)
 	p.Env(e)
 	if p.Err() == nil {
 		t.Error("free type variable pickled silently")
@@ -427,7 +419,7 @@ func TestCorruptedInput(t *testing.T) {
 		{tagInline, 0xff, 0xff},
 		bytes.Repeat([]byte{0xee}, 64),
 	} {
-		u := NewUnpickler(bytes.NewReader(data), NewIndex())
+		u := NewUnpickler(data, NewIndex())
 		u.Env()
 		if u.Err() == nil {
 			t.Errorf("corrupt input %v accepted", data)
@@ -436,11 +428,10 @@ func TestCorruptedInput(t *testing.T) {
 }
 
 func TestBytesWritten(t *testing.T) {
-	var buf bytes.Buffer
-	p := NewPickler(&buf, pid.Zero)
+	p := NewPickler(pid.Zero)
 	p.Env(env.New(nil))
-	if p.BytesWritten() != buf.Len() {
-		t.Errorf("BytesWritten %d vs %d", p.BytesWritten(), buf.Len())
+	if p.BytesWritten() != len(p.Bytes()) {
+		t.Errorf("BytesWritten %d vs %d", p.BytesWritten(), len(p.Bytes()))
 	}
 }
 

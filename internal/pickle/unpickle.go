@@ -2,7 +2,6 @@ package pickle
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/env"
 	"repro/internal/stamps"
@@ -12,19 +11,58 @@ import (
 // Unpickler rehydrates static-environment objects against a context
 // index.
 type Unpickler struct {
-	r     *reader
+	r     reader
 	index *Index
 	table []any // backref table, in registration order
 }
 
-// NewUnpickler returns an unpickler reading from r, resolving stubs in
-// ix.
-func NewUnpickler(in io.ByteReader, ix *Index) *Unpickler {
-	return &Unpickler{r: &reader{r: in}, index: ix}
+// tableCapFor estimates the back-reference table size from the stream
+// length, so table growth does not dominate rehydration allocations.
+// Measured across the example corpus one registered object costs
+// roughly 12–20 stream bytes; the estimate is clamped so a hostile
+// length cannot force a huge allocation.
+func tableCapFor(streamLen int) int {
+	c := streamLen / 12
+	if c > 1<<16 {
+		c = 1 << 16
+	}
+	return c
+}
+
+// NewUnpickler returns an unpickler decoding data, resolving stubs in
+// ix. The cursor is zero-copy: data must not be mutated while the
+// unpickler reads from it.
+func NewUnpickler(data []byte, ix *Index) *Unpickler {
+	return &Unpickler{
+		r:     reader{data: data},
+		index: ix,
+		table: make([]any, 0, tableCapFor(len(data))),
+	}
 }
 
 // Err returns the first decode error.
 func (u *Unpickler) Err() error { return u.r.err }
+
+// Pos reports the cursor's byte offset into the data.
+func (u *Unpickler) Pos() int { return u.r.pos }
+
+// TableLen reports how many objects have been registered in the
+// back-reference table so far (a proxy for rehydrated-graph size).
+func (u *Unpickler) TableLen() int { return len(u.table) }
+
+// Skip advances the cursor n bytes without decoding (used by cached
+// reads that substitute an already-rehydrated environment for the env
+// segment of a bin stream).
+func (u *Unpickler) Skip(n int) {
+	if u.r.err != nil {
+		return
+	}
+	if n < 0 || len(u.r.data)-u.r.pos < n {
+		u.r.error("pickle: skip past end of stream")
+		return
+	}
+	u.r.pos += n
+}
 
 func (u *Unpickler) register(obj any) { u.table = append(u.table, obj) }
 

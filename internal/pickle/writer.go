@@ -21,11 +21,20 @@
 // (cutoff recompilation), and it is also the order in which permanent
 // stamps are assigned afterwards.
 //
+// The hot path traverses each environment exactly once: CanonicalEnv
+// produces the alpha-converted stream together with the byte offsets of
+// every provisional-stamp encoding, and EnvPickle.AppendPermanent
+// derives the bin-file form by patching those offsets with permanent
+// stamps — no second traversal (DESIGN.md §4f).
+//
 // Concurrency: a Pickler or Unpickler is per-unit, single-goroutine
-// state. The Index supports a freeze-base/private-overlay discipline
-// (NewOverlay): a base index that is no longer written may be shared
-// read-only by any number of concurrent overlay readers — see the
-// Index type's documentation.
+// state. An EnvPickle is immutable once built and may be read from any
+// goroutine. The Index supports a freeze-base/private-overlay
+// discipline (NewOverlay): a base index that is no longer written may
+// be shared read-only by any number of concurrent overlay readers —
+// see the Index type's documentation. An EnvCache is a process-wide
+// shared structure, safe for concurrent use; the environments it hands
+// out are immutable by contract (see EnvCache).
 package pickle
 
 import (
@@ -38,11 +47,12 @@ import (
 	"repro/internal/stamps"
 )
 
-// writer provides the low-level encoding (all integers varint).
+// writer provides the low-level encoding (all integers varint). It
+// appends directly to an owned byte slice: no io.Writer indirection,
+// so single-byte writes cost an append, not an interface call plus a
+// heap-escaping one-element slice.
 type writer struct {
-	w   io.Writer
-	buf [binary.MaxVarintLen64]byte
-	n   int // bytes written
+	buf []byte
 	err error
 }
 
@@ -56,23 +66,28 @@ func (w *writer) bytes(b []byte) {
 	if w.err != nil {
 		return
 	}
-	n, err := w.w.Write(b)
-	w.n += n
-	if err != nil {
-		w.err = err
-	}
+	w.buf = append(w.buf, b...)
 }
 
-func (w *writer) byteVal(b byte) { w.bytes([]byte{b}) }
+func (w *writer) byteVal(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, b)
+}
 
 func (w *writer) uvarint(v uint64) {
-	n := binary.PutUvarint(w.buf[:], v)
-	w.bytes(w.buf[:n])
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.AppendUvarint(w.buf, v)
 }
 
 func (w *writer) varint(v int64) {
-	n := binary.PutVarint(w.buf[:], v)
-	w.bytes(w.buf[:n])
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.AppendVarint(w.buf, v)
 }
 
 func (w *writer) int(v int) { w.varint(int64(v)) }
@@ -86,21 +101,27 @@ func (w *writer) bool(v bool) {
 
 func (w *writer) string(s string) {
 	w.uvarint(uint64(len(s)))
-	w.bytes([]byte(s))
+	if w.err == nil {
+		w.buf = append(w.buf, s...)
+	}
 }
 
 func (w *writer) float64(f float64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
-	w.bytes(b[:])
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
 }
 
 func (w *writer) pid(p pid.Pid) { w.bytes(p[:]) }
 
-// reader is the decoding counterpart.
+// reader is the decoding counterpart: a zero-copy cursor over a byte
+// slice. Multi-byte fields are sliced out of the input directly
+// instead of being reassembled byte by byte.
 type reader struct {
-	r   io.ByteReader
-	err error
+	data []byte
+	pos  int
+	err  error
 }
 
 func (r *reader) error(format string, args ...any) {
@@ -109,15 +130,31 @@ func (r *reader) error(format string, args ...any) {
 	}
 }
 
+// take returns the next n bytes of the input without copying, or nil
+// after recording truncation.
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.pos < n {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
 func (r *reader) byteVal() byte {
 	if r.err != nil {
 		return 0
 	}
-	b, err := r.r.ReadByte()
-	if err != nil {
-		r.err = err
+	if r.pos >= len(r.data) {
+		r.err = io.EOF
 		return 0
 	}
+	b := r.data[r.pos]
+	r.pos++
 	return b
 }
 
@@ -125,11 +162,16 @@ func (r *reader) uvarint() uint64 {
 	if r.err != nil {
 		return 0
 	}
-	v, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		r.err = err
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		if n == 0 {
+			r.err = io.ErrUnexpectedEOF
+		} else {
+			r.error("pickle: varint overflow")
+		}
 		return 0
 	}
+	r.pos += n
 	return v
 }
 
@@ -137,11 +179,16 @@ func (r *reader) varint() int64 {
 	if r.err != nil {
 		return 0
 	}
-	v, err := binary.ReadVarint(r.r)
-	if err != nil {
-		r.err = err
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		if n == 0 {
+			r.err = io.ErrUnexpectedEOF
+		} else {
+			r.error("pickle: varint overflow")
+		}
 		return 0
 	}
+	r.pos += n
 	return v
 }
 
@@ -154,10 +201,7 @@ func (r *reader) string() string {
 		r.error("pickle: string too long")
 		return ""
 	}
-	var b []byte
-	for i := uint64(0); i < n && r.err == nil; i++ {
-		b = append(b, r.byteVal())
-	}
+	b := r.take(int(n))
 	if r.err != nil {
 		return ""
 	}
@@ -165,18 +209,16 @@ func (r *reader) string() string {
 }
 
 func (r *reader) float64() float64 {
-	var b [8]byte
-	for i := range b {
-		b[i] = r.byteVal()
+	b := r.take(8)
+	if r.err != nil {
+		return 0
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
 func (r *reader) pid() pid.Pid {
 	var p pid.Pid
-	for i := range p {
-		p[i] = r.byteVal()
-	}
+	copy(p[:], r.take(pid.Size))
 	return p
 }
 

@@ -83,6 +83,29 @@ func Small() Config {
 	}
 }
 
+// GoldenCorpus returns the fixed projects pinned by
+// testdata/binfile_golden.json: any change to pickling, hashing, or
+// stamp assignment that alters a single byte of any bin file (or any
+// pid) shows up as a golden mismatch. Shared by scripts/bingolden
+// (which regenerates the file) and TestBinfileGolden (which enforces
+// it), so the two can never drift apart.
+func GoldenCorpus() map[string]*Project {
+	return map[string]*Project{
+		"layered-30": Generate(Config{
+			Shape: Layered, Units: 30, LinesPerUnit: 20,
+			FunsPerUnit: 3, FanIn: 2, LayerWidth: 5, Seed: 7,
+		}),
+		"chain-12": Generate(Config{
+			Shape: Chain, Units: 12, LinesPerUnit: 25,
+			FunsPerUnit: 4, FanIn: 1, LayerWidth: 1, Seed: 21,
+		}),
+		"diamond-16": Generate(Config{
+			Shape: Diamond, Units: 16, LinesPerUnit: 15,
+			FunsPerUnit: 2, FanIn: 3, LayerWidth: 8, Seed: 3,
+		}),
+	}
+}
+
 // Project is a generated module DAG.
 type Project struct {
 	Config Config

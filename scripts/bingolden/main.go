@@ -1,0 +1,86 @@
+// Command bingolden regenerates testdata/binfile_golden.json: the
+// intrinsic pid and bin-file content hash of every unit of a fixed
+// corpus of generated projects. The golden file pins the bin format
+// and the pid computation: any change to pickling, hashing, or stamp
+// assignment that alters a single byte of any bin file (or any pid)
+// shows up as a golden mismatch in TestBinfileGolden.
+//
+// Concurrency: a single-goroutine command-line tool.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pid"
+	"repro/internal/workload"
+)
+
+// Unit is one golden record.
+type Unit struct {
+	Project string `json:"project"`
+	Name    string `json:"name"`
+	StatPid string `json:"stat_pid"`
+	BinHash string `json:"bin_hash"`
+	BinLen  int    `json:"bin_len"`
+}
+
+// Collect builds every corpus project on a fresh manager and records
+// each unit's pid and bin hash.
+func Collect() ([]Unit, error) {
+	var units []Unit
+	names := make([]string, 0)
+	corpus := workload.GoldenCorpus()
+	for n := range corpus {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, pname := range names {
+		p := corpus[pname]
+		store := core.NewMemStore()
+		m := core.NewManager()
+		m.Store = store
+		if _, err := m.Build(p.Files); err != nil {
+			return nil, fmt.Errorf("%s: %v", pname, err)
+		}
+		for _, f := range p.Files {
+			e, err := store.Load(f.Name)
+			if err != nil || e == nil {
+				return nil, fmt.Errorf("%s/%s: missing entry (%v)", pname, f.Name, err)
+			}
+			units = append(units, Unit{
+				Project: pname,
+				Name:    f.Name,
+				StatPid: e.StatPid.String(),
+				BinHash: pid.HashBytes(e.Bin).String(),
+				BinLen:  len(e.Bin),
+			})
+		}
+	}
+	return units, nil
+}
+
+func main() {
+	out := "testdata/binfile_golden.json"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	units, err := Collect()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bingolden:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(units, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bingolden:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bingolden:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bingolden: wrote %d units to %s\n", len(units), out)
+}
