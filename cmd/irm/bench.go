@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -16,8 +18,10 @@ import (
 
 // BenchSchema identifies the BENCH_irm.json format. Version 3 adds
 // per-scenario heap-allocation deltas and the warm-env-cache record
-// (rehydration speedup and hit rate of the pid-keyed EnvCache).
-const BenchSchema = "irm-bench/3"
+// (rehydration speedup and hit rate of the pid-keyed EnvCache);
+// version 4 adds the provenance record (git commit, dirty flag, Go
+// version, GOMAXPROCS) so archived bench files say what produced them.
+const BenchSchema = "irm-bench/4"
 
 // BenchFile is the machine-readable output of `irm bench`: the edit
 // matrix of the paper's evaluation (cold / null / implementation edit
@@ -25,11 +29,43 @@ const BenchSchema = "irm-bench/3"
 // count, with wall time, Stats, phase timings, and raw counters per
 // scenario — the repo's perf trajectory as data.
 type BenchFile struct {
-	Schema    string         `json:"schema"`
-	Config    BenchConfig    `json:"config"`
-	Matrix    []BenchRun     `json:"matrix"`
-	Speedup   BenchSpeedup   `json:"speedup"`
-	WarmCache BenchWarmCache `json:"warm_cache"`
+	Schema     string          `json:"schema"`
+	Provenance BenchProvenance `json:"provenance"`
+	Config     BenchConfig     `json:"config"`
+	Matrix     []BenchRun      `json:"matrix"`
+	Speedup    BenchSpeedup    `json:"speedup"`
+	WarmCache  BenchWarmCache  `json:"warm_cache"`
+}
+
+// BenchProvenance records what produced a bench file, so two archived
+// runs are comparable (or provably not): the commit the tree was at,
+// whether the tree was dirty, and the toolchain and parallelism the
+// numbers were measured under.
+type BenchProvenance struct {
+	GitCommit  string `json:"git_commit,omitempty"` // empty outside a git checkout
+	GitDirty   bool   `json:"git_dirty"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// collectProvenance gathers the provenance record. git failures are
+// not errors — a bench run outside a checkout simply has no commit.
+func collectProvenance() BenchProvenance {
+	p := BenchProvenance{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitCommit = strings.TrimSpace(string(out))
+	}
+	if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+		p.GitDirty = len(strings.TrimSpace(string(out))) > 0
+	}
+	return p
 }
 
 // BenchConfig echoes the workload parameters the run used.
@@ -183,7 +219,8 @@ func cmdBench(args []string) {
 	}
 
 	bf := BenchFile{
-		Schema: BenchSchema,
+		Schema:     BenchSchema,
+		Provenance: collectProvenance(),
 		Config: BenchConfig{
 			Units: cfg.Units, LinesPerUnit: cfg.LinesPerUnit,
 			Shape: cfg.Shape.String(), Seed: cfg.Seed, Policy: pol.String(),

@@ -5,6 +5,11 @@
 //
 //	irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
 //	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
+//	          [-serve addr] [-history dir|off]
+//	irm serve [group.cm] [-addr host:port] [-store dir] [-j n] [-history dir|off]
+//	irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t]
+//	irm top [-store dir | -dir ledgerdir] [-n k]
+//	irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
 //	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
 //	irm deps  group.cm
 //	irm collision [-pids n]
@@ -19,6 +24,15 @@
 // streams one rebuild-decision record per unit to stderr, and
 // -report json replaces the human summary with a machine-readable
 // report object on the last line of stdout.
+//
+// Continuous observability: every build appends one summary record to
+// the crash-safe history ledger beside the store (disable with
+// -history off); `irm history` renders the ledger as a trend table
+// and flags wall-time regressions against the trailing median, `irm
+// top` ranks units by accumulated cost, and `irm serve` (or `irm
+// build -serve addr`) exposes /metrics in Prometheus text format,
+// /debug/pprof, /healthz, and /builds over HTTP while the process
+// runs.
 package main
 
 import (
@@ -28,11 +42,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/depend"
 	"repro/internal/obs"
+	"repro/internal/obsserve"
 )
 
 func main() {
@@ -44,6 +60,14 @@ func main() {
 		cmdBuild(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "history":
+		cmdHistory(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
+	case "gen":
+		cmdGen(os.Args[2:])
 	case "deps":
 		cmdDeps(os.Args[2:])
 	case "show":
@@ -92,6 +116,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
             [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
+            [-serve addr] [-history dir|off]
+  irm serve [group.cm] [-addr host:port] [-store dir] [-policy p] [-j n] [-history dir|off]
+  irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t]
+  irm top [-store dir | -dir ledgerdir] [-n k]
+  irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
   irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
   irm deps  group.cm
   irm show  file.sml ...
@@ -109,6 +138,8 @@ func cmdBuild(args []string) {
 	jsonlPath := fs.String("jsonl", "", "write spans, explains, and counters as JSON lines to this file")
 	explain := fs.Bool("explain", false, "stream one rebuild-decision JSON record per unit to stderr")
 	report := fs.String("report", "text", "build summary format: text or json")
+	serveAddr := fs.String("serve", "", "serve /metrics and /debug/pprof on this address while the build runs")
+	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
 	groupPath, rest := splitGroupArg(args)
 	fs.Parse(rest)
 	if groupPath == "" && fs.NArg() == 1 {
@@ -144,7 +175,17 @@ func cmdBuild(args []string) {
 	if *verbose {
 		m.Log = os.Stderr
 	}
+	ledger := openLedger(*historyFlag, *storeDir)
+	if *serveAddr != "" {
+		// Bind before the build so a scraper or profiler can attach from
+		// the first instant; the listener dies with the process.
+		if _, err := startServer(*serveAddr, obsserve.New(col, ledger)); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
 	_, buildErr := m.Build(group.Files)
+	recordBuild(ledger, m, group.Name, *jobs, time.Since(start), buildErr)
 	// Telemetry is flushed before the build error is reported: a trace
 	// of a failing build is the one you want most.
 	flushTelemetry(col, *tracePath, *jsonlPath)

@@ -1,0 +1,280 @@
+package main
+
+// The continuous-observability subcommands: `irm serve` (live
+// /metrics, /debug/pprof, /healthz, /builds over a build), `irm
+// history` (the build ledger as a trend table with regression
+// flagging), `irm top` (per-unit cost aggregated across the ledger),
+// and `irm gen` (materialize a synthetic workload for CI and
+// profiling runs).
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/obs"
+	"repro/internal/obsserve"
+	"repro/internal/workload"
+)
+
+// defaultHistoryDir derives the ledger location from the store
+// location: a sibling `.irm/history` directory, so every store a CLI
+// test creates in a temp dir gets its own ledger beside it instead of
+// polluting the working directory.
+func defaultHistoryDir(storeDir string) string {
+	return filepath.Join(filepath.Dir(storeDir), ".irm", "history")
+}
+
+// openLedger resolves the -history flag: "" derives from the store,
+// "off" disables, anything else is the ledger directory itself.
+func openLedger(historyFlag, storeDir string) *history.Ledger {
+	if historyFlag == "off" {
+		return nil
+	}
+	dir := historyFlag
+	if dir == "" {
+		dir = defaultHistoryDir(storeDir)
+	}
+	l, err := history.Open(dir, nil)
+	if err != nil {
+		// The ledger is telemetry: a build must not fail because its
+		// history cannot be written.
+		fmt.Fprintln(os.Stderr, "irm:", err)
+		return nil
+	}
+	return l
+}
+
+// recordBuild appends one build's summary to the ledger, if open.
+func recordBuild(l *history.Ledger, m *core.Manager, name string,
+	jobs int, wall time.Duration, buildErr error) {
+	if l == nil {
+		return
+	}
+	rec := history.FromReport(m.Report(name), m.UnitTimings, jobs,
+		wall, time.Now(), buildErr)
+	if err := l.Append(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "irm:", err)
+	}
+}
+
+// startServer binds addr, announces the resolved address on stderr
+// (machine-parseable: "irm: listening on HOST:PORT"), and serves the
+// telemetry mux in the background. It returns the listener so callers
+// can report or close it.
+func startServer(addr string, srv *obsserve.Server) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "irm: listening on %s\n", ln.Addr())
+	go http.Serve(ln, srv.Handler())
+	return ln, nil
+}
+
+// cmdServe builds the group (if given) with full telemetry attached
+// and then blocks, serving /metrics, /healthz, /builds, and
+// /debug/pprof until killed. The listener binds before the build so a
+// scrape or profile can attach from the first instant.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "telemetry listen address")
+	storeDir := fs.String("store", ".irm-store", "bin cache directory")
+	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
+	jobs := fs.Int("j", 0, "parallel build workers (0 = one per core)")
+	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
+	groupPath, rest := splitGroupArg(args)
+	fs.Parse(rest)
+	if groupPath == "" && fs.NArg() == 1 {
+		groupPath = fs.Arg(0)
+	}
+
+	col := obs.New()
+	ledger := openLedger(*historyFlag, *storeDir)
+	srv := obsserve.New(col, ledger)
+	if _, err := startServer(*addr, srv); err != nil {
+		fatal(err)
+	}
+
+	if groupPath != "" {
+		group, err := core.LoadGroup(groupPath)
+		if err != nil {
+			fatal(err)
+		}
+		store, err := core.NewDirStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		store.Obs = col
+		m := &core.Manager{Store: store, Stdout: os.Stdout, Obs: col, Jobs: *jobs}
+		switch *policy {
+		case "cutoff":
+			m.Policy = core.PolicyCutoff
+		case "timestamp":
+			m.Policy = core.PolicyTimestamp
+		default:
+			usage()
+		}
+		start := time.Now()
+		_, buildErr := m.Build(group.Files)
+		recordBuild(ledger, m, group.Name, *jobs, time.Since(start), buildErr)
+		if buildErr != nil {
+			// Keep serving: the metrics of a failed build are the ones
+			// worth scraping. The exit status is lost anyway (we block).
+			fmt.Fprintln(os.Stderr, "irm:", buildErr)
+		} else {
+			st := m.Stats
+			fmt.Printf("%s: %d units — parsed %d, compiled %d, loaded %d, cutoffs %d\n",
+				group.Name, st.Units, st.Parsed, st.Compiled, st.Loaded, st.Cutoffs)
+		}
+	}
+	select {} // serve until killed
+}
+
+// cmdHistory renders the ledger as a trend table, newest last, and
+// flags wall-time regressions against the trailing median.
+func cmdHistory(args []string) {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	storeDir := fs.String("store", ".irm-store", "bin cache directory the ledger sits beside")
+	dir := fs.String("dir", "", "ledger directory (overrides -store derivation)")
+	limit := fs.Int("n", 20, "show at most n newest records")
+	window := fs.Int("window", 10, "trailing builds forming the regression baseline")
+	threshold := fs.Float64("threshold", 0.25, "regression threshold (0.25 = 25% over median)")
+	fs.Parse(args)
+
+	ledgerDir := *dir
+	if ledgerDir == "" {
+		ledgerDir = defaultHistoryDir(*storeDir)
+	}
+	l, err := history.Open(ledgerDir, nil)
+	if err != nil {
+		fatal(err)
+	}
+	recs, skipped, err := l.ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "irm: skipped %d corrupt ledger lines\n", skipped)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no builds recorded")
+		return
+	}
+
+	regs := history.Regressions(recs, *window, *threshold)
+	flagged := map[int]history.Regression{}
+	for _, r := range regs {
+		flagged[r.Index] = r
+	}
+
+	from := 0
+	if len(recs) > *limit {
+		from = len(recs) - *limit
+	}
+	fmt.Printf("%-20s %-24s %-9s %10s %6s %6s %6s %7s\n",
+		"WHEN", "NAME", "OUTCOME", "WALL", "UNITS", "COMP", "LOAD", "HIT%")
+	for i := from; i < len(recs); i++ {
+		r := recs[i]
+		line := fmt.Sprintf("%-20s %-24s %-9s %10s %6d %6d %6d %6.1f%%",
+			time.Unix(0, r.TimeUnixNs).Format("2006-01-02 15:04:05"),
+			trunc(r.Name, 24), r.Outcome,
+			time.Duration(r.WallNs).Round(time.Microsecond),
+			r.Units, r.Compiled, r.Loaded, r.HitRate*100)
+		if reg, ok := flagged[i]; ok {
+			line += fmt.Sprintf("  REGRESSION +%.0f%% vs median %s",
+				(reg.Ratio-1)*100, time.Duration(reg.BaselineNs).Round(time.Microsecond))
+		}
+		fmt.Println(line)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("%d regression(s) flagged (threshold %.0f%%, window %d)\n",
+			len(regs), *threshold*100, *window)
+	}
+}
+
+// cmdTop aggregates per-unit wall time across the ledger and prints
+// the most expensive units.
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	storeDir := fs.String("store", ".irm-store", "bin cache directory the ledger sits beside")
+	dir := fs.String("dir", "", "ledger directory (overrides -store derivation)")
+	limit := fs.Int("n", 10, "show at most n units")
+	fs.Parse(args)
+
+	ledgerDir := *dir
+	if ledgerDir == "" {
+		ledgerDir = defaultHistoryDir(*storeDir)
+	}
+	l, err := history.Open(ledgerDir, nil)
+	if err != nil {
+		fatal(err)
+	}
+	recs, _, err := l.ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+	top := history.Top(recs)
+	if len(top) == 0 {
+		fmt.Println("no unit timings recorded")
+		return
+	}
+	if len(top) > *limit {
+		top = top[:*limit]
+	}
+	fmt.Printf("%-24s %7s %7s %12s %12s %12s %6s\n",
+		"UNIT", "BUILDS", "COMP", "TOTAL", "MEAN", "MAX", "SHARE")
+	for _, u := range top {
+		fmt.Printf("%-24s %7d %7d %12s %12s %12s %5.1f%%\n",
+			trunc(u.Unit, 24), u.Builds, u.Compiled,
+			time.Duration(u.TotalNs).Round(time.Microsecond),
+			time.Duration(u.MeanNs).Round(time.Microsecond),
+			time.Duration(u.MaxNs).Round(time.Microsecond),
+			u.ShareOfAll*100)
+	}
+}
+
+// cmdGen materializes a synthetic workload project to disk and prints
+// the group-file path — the input CI's serve smoke test builds.
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dir := fs.String("dir", "irm-workload", "directory to write the project into")
+	units := fs.Int("units", 12, "number of compilation units")
+	lines := fs.Int("lines", 30, "approximate source lines per unit")
+	seed := fs.Int64("seed", 7, "generator seed")
+	shape := fs.String("shape", "layered", "dependency shape: chain, fan, diamond, or layered")
+	fs.Parse(args)
+
+	cfg := workload.Small()
+	cfg.Units, cfg.LinesPerUnit, cfg.Seed = *units, *lines, *seed
+	switch *shape {
+	case "chain":
+		cfg.Shape = workload.Chain
+	case "fan":
+		cfg.Shape = workload.Fan
+	case "diamond":
+		cfg.Shape = workload.Diamond
+	case "layered":
+		cfg.Shape = workload.Layered
+	default:
+		usage()
+	}
+	groupPath, err := workload.Generate(cfg).Materialize(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(groupPath)
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

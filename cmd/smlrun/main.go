@@ -39,7 +39,7 @@ func main() {
 	}
 
 	if *binMode {
-		runBins(flag.Args())
+		runBins(flag.Args(), *tracePath, *report)
 		return
 	}
 
@@ -114,7 +114,11 @@ func writeTrace(col *obs.Collector, path string) {
 	}
 }
 
-func runBins(paths []string) {
+// runBins rehydrates, verifies, and executes pre-compiled bin files.
+// The execute phase runs under a collector, so even a bin-only run
+// gets per-unit execute spans (-trace) and exec.* counters
+// (-report json).
+func runBins(paths []string, tracePath, report string) {
 	session, err := compiler.NewSession(os.Stdout)
 	if err != nil {
 		fatal(err)
@@ -181,8 +185,27 @@ func runBins(paths []string) {
 		}
 		os.Exit(1)
 	}
-	if err := linker.Run(session.Machine, units, session.Dyn); err != nil {
-		fatal(err)
+	col := obs.New()
+	col.BeginBuild()
+	session.Dyn.Obs = col
+	session.Machine.Obs = col
+	rspan := col.StartSpan(obs.CatBuild, "run-bins")
+	runErr := linker.RunObserved(session.Machine, units, session.Dyn, rspan, col)
+	rspan.End()
+	if tracePath != "" {
+		writeTrace(col, tracePath)
+	}
+	if report == "json" {
+		rep := map[string]any{"schema": obs.ReportSchema, "name": "run-bins",
+			"counters": col.Counters()}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, string(data))
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 }
 

@@ -263,7 +263,13 @@ func TestTelemetryCLI(t *testing.T) {
 			} `json:"report"`
 		}
 		var bf struct {
-			Schema string `json:"schema"`
+			Schema     string `json:"schema"`
+			Provenance struct {
+				GoVersion  string `json:"go_version"`
+				GOMAXPROCS int    `json:"gomaxprocs"`
+				OS         string `json:"os"`
+				Arch       string `json:"arch"`
+			} `json:"provenance"`
 			Matrix []struct {
 				Jobs      int        `json:"jobs"`
 				Scenarios []scenario `json:"scenarios"`
@@ -286,8 +292,11 @@ func TestTelemetryCLI(t *testing.T) {
 		if err := json.Unmarshal(data, &bf); err != nil {
 			t.Fatalf("bench output is not valid JSON: %v", err)
 		}
-		if bf.Schema != "irm-bench/3" {
+		if bf.Schema != "irm-bench/4" {
 			t.Errorf("bench schema %q", bf.Schema)
+		}
+		if p := bf.Provenance; p.GoVersion == "" || p.GOMAXPROCS < 1 || p.OS == "" || p.Arch == "" {
+			t.Errorf("provenance incomplete: %+v", p)
 		}
 		if len(bf.Matrix) != 2 || bf.Matrix[0].Jobs != 1 || bf.Matrix[1].Jobs != 2 {
 			t.Fatalf("bench matrix widths: %+v, want -j1 and -j2 runs", bf.Matrix)

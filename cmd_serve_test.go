@@ -1,0 +1,286 @@
+package repro
+
+// End-to-end tests for the continuous-observability commands: `irm
+// serve` scraped over real HTTP, the build→ledger→`irm history`
+// pipeline with a synthetic regression, and `irm top`/`irm gen`.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/obs"
+)
+
+// startServe launches `irm serve`, waits for its "listening on"
+// announcement, and returns the base URL plus a stop function.
+func startServe(t *testing.T, bin string, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "irm: listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, stop
+	case <-time.After(10 * time.Second):
+		stop()
+		t.Fatal("irm serve never announced its address")
+		return "", nil
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestServeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm")
+	work := t.TempDir()
+
+	// Materialize a workload with `irm gen` — the same path CI's smoke
+	// job takes.
+	genOut, err := runTool(t, tools["irm"], "",
+		"gen", "-dir", filepath.Join(work, "proj"), "-units", "6", "-lines", "10")
+	if err != nil {
+		t.Fatalf("irm gen: %v\n%s", err, genOut)
+	}
+	groupPath := strings.TrimSpace(genOut)
+	if filepath.Base(groupPath) != "group.cm" {
+		t.Fatalf("irm gen printed %q, want a group.cm path", groupPath)
+	}
+
+	store := filepath.Join(work, "store")
+	base, stop := startServe(t, tools["irm"], groupPath, "-store", store, "-j", "2")
+	defer stop()
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// The build runs after the listener binds; poll /metrics until the
+	// build's counters appear.
+	deadline := time.Now().Add(10 * time.Second)
+	var metrics string
+	for {
+		_, metrics = httpGet(t, base+"/metrics")
+		if strings.Contains(metrics, "irm_exec_units 6") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(metrics, "irm_exec_units 6") {
+		t.Fatalf("/metrics never showed the build's exec.units:\n%s", metrics)
+	}
+	// Prometheus text-format sanity on the real scrape: every sample
+	// line well-formed and HELP/TYPE announced.
+	announced := map[string]bool{}
+	for i, line := range strings.Split(metrics, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if (strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ")) && len(f) >= 4 {
+				announced[f[2]] = true
+				continue
+			}
+			t.Fatalf("metrics line %d: malformed comment %q", i+1, line)
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 || !announced[f[0]] {
+			t.Fatalf("metrics line %d: bad sample %q", i+1, line)
+		}
+	}
+	if !announced["irm_builds_total"] || !announced["irm_uptime_seconds"] {
+		t.Fatal("server gauges missing from /metrics")
+	}
+
+	// The build was recorded in the ledger and is served at /builds.
+	code, body := httpGet(t, base+"/builds")
+	if code != 200 {
+		t.Fatalf("/builds = %d", code)
+	}
+	var recs []history.Record
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("/builds not JSON: %v\n%s", err, body)
+	}
+	if len(recs) != 1 || recs[0].Units != 6 || recs[0].Outcome != history.OutcomeOK {
+		t.Fatalf("/builds = %+v", recs)
+	}
+
+	// pprof is mounted.
+	if code, body := httpGet(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestHistoryCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm")
+	work := t.TempDir()
+
+	// Synthesize a ledger with a clear regression: a stable 100ms
+	// baseline, then a 250ms build.
+	dir := filepath.Join(work, "ledger")
+	l, err := history.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRec := func(i int, wall time.Duration) history.Record {
+		return history.Record{
+			Schema: history.Schema, TimeUnixNs: int64(i) * int64(time.Second),
+			Name: "proj.cm", Policy: "cutoff", Jobs: 2, Outcome: history.OutcomeOK,
+			WallNs: int64(wall), Units: 6, Loaded: 6,
+			UnitTimings: []obs.UnitTiming{
+				{Unit: "hot.sml", Action: obs.ActionCompiled, Ns: int64(wall) / 2},
+				{Unit: "cold.sml", Action: obs.ActionLoaded, Ns: int64(wall) / 10},
+			},
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(mkRec(i, 100*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Append(mkRec(5, 250*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runTool(t, tools["irm"], "", "history", "-dir", dir)
+	if err != nil {
+		t.Fatalf("irm history: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("irm history did not flag the synthetic regression:\n%s", out)
+	}
+	if n := strings.Count(out, "REGRESSION"); n != 1 {
+		t.Fatalf("flagged %d regressions, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "1 regression(s) flagged") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+
+	// Raising the threshold past the 150% jump silences the flag.
+	out, err = runTool(t, tools["irm"], "", "history", "-dir", dir, "-threshold", "2.0")
+	if err != nil {
+		t.Fatalf("irm history -threshold: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Fatalf("threshold 200%% still flags:\n%s", out)
+	}
+
+	// `irm top` ranks the expensive unit first.
+	out, err = runTool(t, tools["irm"], "", "top", "-dir", dir)
+	if err != nil {
+		t.Fatalf("irm top: %v\n%s", err, out)
+	}
+	hot := strings.Index(out, "hot.sml")
+	cold := strings.Index(out, "cold.sml")
+	if hot < 0 || cold < 0 || hot > cold {
+		t.Fatalf("irm top order wrong (hot=%d cold=%d):\n%s", hot, cold, out)
+	}
+}
+
+// TestBuildRecordsHistory checks the default pipeline: plain `irm
+// build` appends to the ledger beside the store, and `irm history
+// -store` finds it.
+func TestBuildRecordsHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm")
+	work := t.TempDir()
+	writeFile(t, filepath.Join(work, "a.sml"), "structure A = struct val one = 1 end\n")
+	writeFile(t, filepath.Join(work, "g.cm"), "a.sml\n")
+	store := filepath.Join(work, "store")
+
+	for i := 0; i < 2; i++ {
+		if out, err := runTool(t, tools["irm"], "",
+			"build", filepath.Join(work, "g.cm"), "-store", store); err != nil {
+			t.Fatalf("irm build: %v\n%s", err, out)
+		}
+	}
+	out, err := runTool(t, tools["irm"], "", "history", "-store", store)
+	if err != nil {
+		t.Fatalf("irm history: %v\n%s", err, out)
+	}
+	var dataLines int
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Contains(line, " ok ") {
+			dataLines++
+		}
+	}
+	if dataLines != 2 {
+		t.Fatalf("history shows %d builds, want 2:\n%s", dataLines, out)
+	}
+	// Second build was a full cache hit; the record must say so.
+	recs, _, err := mustOpenLedger(t, filepath.Join(work, ".irm", "history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Loaded != 1 || recs[1].CacheHits == 0 {
+		t.Fatalf("ledger records = %+v", recs)
+	}
+
+	// -history off suppresses recording.
+	if out, err := runTool(t, tools["irm"], "",
+		"build", filepath.Join(work, "g.cm"), "-store", store, "-history", "off"); err != nil {
+		t.Fatalf("irm build -history off: %v\n%s", err, out)
+	}
+	recs, _, err = mustOpenLedger(t, filepath.Join(work, ".irm", "history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("-history off still appended: %d records", len(recs))
+	}
+}
+
+func mustOpenLedger(t *testing.T, dir string) ([]history.Record, int, error) {
+	t.Helper()
+	l, err := history.Open(dir, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return l.ReadAll()
+}

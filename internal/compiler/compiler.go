@@ -30,6 +30,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/interp"
 	"repro/internal/lambda"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/pickle"
 	"repro/internal/pid"
@@ -188,32 +189,69 @@ func HashInterface(name string, e *env.Env) (pid.Pid, []any, error) {
 // gather the import values, apply the closed code, and bind the export
 // pids to the resulting values.
 func Execute(m *interp.Machine, u *Unit, dyn *dynenv.Env) error {
+	return ExecuteObserved(m, u, dyn, nil, nil)
+}
+
+// ExecuteObserved is Execute under instrumentation: the unit's run is
+// wrapped in an "execute" phase span (a child of parent, on the
+// coordinator lane) with "imports", "apply", and "bind" sub-phases —
+// import-vector lookup, closure application, export binding — and the
+// exec.* counters are recorded on rec. A nil parent and nil rec make
+// it exactly Execute; both are safe independently.
+func ExecuteObserved(m *interp.Machine, u *Unit, dyn *dynenv.Env,
+	parent *obs.Span, rec obs.Recorder) error {
+
+	espan := parent.Child(obs.CatPhase, "execute").Lane(0).Arg("unit", u.Name)
+	defer espan.End()
+	obs.Count(rec, "exec.units", 1)
+
+	ispan := espan.Child(obs.CatPhase, "imports")
 	imports := make(interp.RecordV, len(u.Imports))
 	for i, p := range u.Imports {
 		v, err := dyn.MustLookup(p)
 		if err != nil {
+			ispan.End()
+			obs.Count(rec, "exec.import_misses", 1)
 			return fmt.Errorf("execute %s: %v", u.Name, err)
 		}
 		imports[i] = v
 	}
+	ispan.End()
+	obs.Count(rec, "exec.imports", int64(len(u.Imports)))
+	obs.Count(rec, "exec.imports_ns", int64(ispan.Duration()))
+
+	aspan := espan.Child(obs.CatPhase, "apply")
+	steps0 := m.Steps
 	closure, err := m.Eval(u.Code, nil)
+	var result interp.Value
+	if err == nil {
+		result, err = m.Apply(closure, imports)
+	}
+	aspan.End()
+	obs.Count(rec, "exec.steps", int64(m.Steps-steps0))
+	obs.Count(rec, "exec.apply_ns", int64(aspan.Duration()))
 	if err != nil {
+		obs.Count(rec, "exec.errors", 1)
 		return fmt.Errorf("execute %s: %v", u.Name, err)
 	}
-	result, err := m.Apply(closure, imports)
-	if err != nil {
-		return fmt.Errorf("execute %s: %v", u.Name, err)
-	}
-	rec, ok := result.(interp.RecordV)
+
+	bspan := espan.Child(obs.CatPhase, "bind")
+	defer bspan.End()
+	recv, ok := result.(interp.RecordV)
 	if !ok && u.NumSlots > 0 {
+		obs.Count(rec, "exec.errors", 1)
 		return fmt.Errorf("execute %s: code returned non-record", u.Name)
 	}
-	if len(rec) != u.NumSlots {
+	if len(recv) != u.NumSlots {
+		obs.Count(rec, "exec.errors", 1)
 		return fmt.Errorf("execute %s: export record has %d slots, expected %d",
-			u.Name, len(rec), u.NumSlots)
+			u.Name, len(recv), u.NumSlots)
 	}
-	for i, v := range rec {
+	for i, v := range recv {
 		dyn.Bind(u.ExportPid(i), v)
 	}
+	bspan.End()
+	obs.Count(rec, "exec.exports", int64(u.NumSlots))
+	obs.Count(rec, "exec.bind_ns", int64(bspan.Duration()))
 	return nil
 }

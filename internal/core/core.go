@@ -267,6 +267,10 @@ type Manager struct {
 	// Explains is the most recent Build's rebuild-decision log:
 	// exactly one record per unit the build reached.
 	Explains []obs.Explain
+	// UnitTimings records, for the most recent Build, the wall time of
+	// every committed unit in commit order — the per-unit series the
+	// build-history ledger persists and `irm top` aggregates.
+	UnitTimings []obs.UnitTiming
 }
 
 // NewManager returns a cutoff-policy manager over a fresh memory store.
@@ -303,6 +307,7 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 		col = obs.New()
 	}
 	gen := col.BeginBuild()
+	m.UnitTimings = nil
 	bspan := col.StartSpan(obs.CatBuild, "build").
 		Arg("policy", m.Policy.String()).Arg("units", len(files))
 	defer bspan.End()
@@ -333,6 +338,12 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Observe the execute side too: the dynamic environment and the
+	// machine report dynenv.*/interp.* counters into the same
+	// collector. Attached after the prelude bootstrap, so the deltas
+	// cover exactly this build's units.
+	session.Dyn.Obs = col
+	session.Machine.Obs = col
 
 	// Phase 1: per-file dependency info, re-parsing only changed files.
 	scan := bspan.Child(obs.CatPhase, "scan")

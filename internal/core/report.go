@@ -36,6 +36,11 @@ func (m *Manager) Report(name string) obs.Report {
 			"pickle":  int64(st.PickleTime),
 			"load":    int64(st.LoadTime),
 			"exec":    int64(st.ExecTime),
+			// The execute phase broken down (schema irm-report/2):
+			// import-vector lookup, closure application, export binding.
+			"exec_imports": counters["exec.imports_ns"],
+			"exec_apply":   counters["exec.apply_ns"],
+			"exec_bind":    counters["exec.bind_ns"],
 		},
 		Counters: counters,
 		Explain:  explain,

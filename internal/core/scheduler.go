@@ -202,10 +202,30 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 			}
 		}()
 	}
+	commitIdx := 0
 	defer func() {
 		cancel()
 		close(dispatchCh)
 		wg.Wait()
+		// On a fatal abort, in-flight workers drained results that will
+		// never commit; their unit spans would otherwise stay open and
+		// export as still-running to the trace's end. Close every
+		// uncommitted span here so a failing build's -trace/-jsonl
+		// output is as well-formed as a passing one (their buffered
+		// counters are still discarded unflushed).
+		for drained := false; !drained; {
+			select {
+			case res := <-resultCh:
+				results[res.task.idx] = res
+			default:
+				drained = true
+			}
+		}
+		for i := commitIdx; i < n; i++ {
+			if results[i] != nil {
+				results[i].uspan.End()
+			}
+		}
 		col.Add("build.parallelism.max", maxPar.Load())
 	}()
 
@@ -253,7 +273,6 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 	// The first failure in commit order is where the sequential build
 	// would have stopped; nothing past it is dispatched once known.
 	failIdx := n
-	commitIdx := 0
 	for commitIdx < n {
 		for ready.Len() > 0 {
 			i := heap.Pop(ready).(int)
@@ -461,10 +480,14 @@ func (m *Manager) commitUnit(res *unitResult, col *obs.Collector,
 		return res.err
 	}
 
-	espan := uspan.Child(obs.CatPhase, "exec").Lane(0)
-	execErr := compiler.Execute(session.Machine, res.unit, session.Dyn)
-	espan.End()
-	col.Add("time.exec_ns", int64(espan.Duration()))
+	// The execute phase runs instrumented: an "execute" span (with
+	// imports/apply/bind sub-phases) nests under the unit span on the
+	// coordinator lane, and the exec.*/dynenv.*/interp.* counters land
+	// in the shared collector — all on the committer, in commit order,
+	// so the deltas are identical at every -j.
+	t0 := time.Now()
+	execErr := compiler.ExecuteObserved(session.Machine, res.unit, session.Dyn, uspan, col)
+	col.Add("time.exec_ns", int64(time.Since(t0)))
 	if execErr != nil {
 		exp.Error = execErr.Error()
 		col.Explain(exp)
@@ -482,6 +505,8 @@ func (m *Manager) commitUnit(res *unitResult, col *obs.Collector,
 		col.Explain(exp)
 		uspan.Arg("action", obs.ActionLoaded).Arg("pid", res.unit.StatPid.Short())
 		uspan.End()
+		m.UnitTimings = append(m.UnitTimings, obs.UnitTiming{
+			Unit: name, Action: obs.ActionLoaded, Ns: int64(uspan.Duration())})
 		if m.Log != nil {
 			m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, res.unit.StatPid.Short())
 		}
@@ -512,5 +537,7 @@ func (m *Manager) commitUnit(res *unitResult, col *obs.Collector,
 	col.Explain(exp)
 	uspan.Arg("action", obs.ActionCompiled).Arg("pid", res.unit.StatPid.Short())
 	uspan.End()
+	m.UnitTimings = append(m.UnitTimings, obs.UnitTiming{
+		Unit: name, Action: obs.ActionCompiled, Ns: int64(uspan.Duration())})
 	return nil
 }

@@ -15,12 +15,17 @@ import (
 	"sort"
 
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pid"
 )
 
 // Env is a dynamic environment.
 type Env struct {
 	m map[pid.Pid]interp.Value
+	// Obs, when non-nil, receives the dynenv.* counters (binds,
+	// lookups, misses) — the execute phase's import/export traffic as
+	// data. Copies inherit the recorder.
+	Obs obs.Recorder
 }
 
 // New returns an empty dynamic environment.
@@ -29,17 +34,24 @@ func New() *Env {
 }
 
 // Bind associates a pid with a value, replacing any previous binding.
-func (d *Env) Bind(p pid.Pid, v interp.Value) { d.m[p] = v }
+func (d *Env) Bind(p pid.Pid, v interp.Value) {
+	obs.Count(d.Obs, "dynenv.binds", 1)
+	d.m[p] = v
+}
 
 // Lookup finds the value bound to p.
 func (d *Env) Lookup(p pid.Pid) (interp.Value, bool) {
 	v, ok := d.m[p]
+	obs.Count(d.Obs, "dynenv.lookups", 1)
+	if !ok {
+		obs.Count(d.Obs, "dynenv.misses", 1)
+	}
 	return v, ok
 }
 
 // MustLookup finds the value bound to p or returns a linkage error.
 func (d *Env) MustLookup(p pid.Pid) (interp.Value, error) {
-	v, ok := d.m[p]
+	v, ok := d.Lookup(p)
 	if !ok {
 		return nil, fmt.Errorf("dynenv: no value bound to pid %s (missing import)", p.Short())
 	}
@@ -51,8 +63,10 @@ func (d *Env) Len() int { return len(d.m) }
 
 // Copy returns an independent copy (dynamic environments compose by
 // copying plus Bind, mirroring the paper's functional composition).
+// The copy reports to the same recorder as the original.
 func (d *Env) Copy() *Env {
 	out := New()
+	out.Obs = d.Obs
 	for k, v := range d.m {
 		out.m[k] = v
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/lambda"
+	"repro/internal/obs"
 )
 
 // Env is the evaluation environment: an immutable linked list from
@@ -62,6 +63,12 @@ type Machine struct {
 	// Steps counts evaluation steps, for tests that bound divergence.
 	Steps    uint64
 	MaxSteps uint64 // 0 = unlimited
+	// Obs, when non-nil, receives the interp.* counters (evals,
+	// applies, uncaught, crashes). Counting happens only at the
+	// top-level Eval/Apply entry and exit points — once per unit
+	// execution, never inside the evaluation loop — so an observed
+	// machine pays nothing on the hot path.
+	Obs obs.Recorder
 
 	// Pre-allocated basis exception tags.
 	TagMatch, TagBind, TagDiv, TagOverflow *ExnTag
@@ -106,37 +113,36 @@ func (m *Machine) crash(format string, args ...any) Value {
 // Eval evaluates e under env, converting a raised-to-top exception into
 // an *UncaughtError and internal crashes into *CrashError.
 func (m *Machine) Eval(e lambda.Exp, env *Env) (v Value, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			switch r := r.(type) {
-			case *MLRaise:
-				err = &UncaughtError{Packet: r.Packet}
-			case *CrashError:
-				err = r
-			default:
-				panic(r)
-			}
-		}
-	}()
+	obs.Count(m.Obs, "interp.evals", 1)
+	defer m.convert(&err)
 	return m.eval(e, env), nil
 }
 
 // Apply applies a function value to an argument with top-level error
 // conversion, for host callers (the Visible Compiler API).
 func (m *Machine) Apply(fn, arg Value) (v Value, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			switch r := r.(type) {
-			case *MLRaise:
-				err = &UncaughtError{Packet: r.Packet}
-			case *CrashError:
-				err = r
-			default:
-				panic(r)
-			}
-		}
-	}()
+	obs.Count(m.Obs, "interp.applies", 1)
+	defer m.convert(&err)
 	return m.apply(fn, arg), nil
+}
+
+// convert is the shared top-level recover: ML exceptions that unwound
+// to the host boundary become *UncaughtError, internal inconsistencies
+// *CrashError; anything else keeps panicking. Both outcomes are
+// counted, so the execute phase's failure modes show up in /metrics.
+func (m *Machine) convert(err *error) {
+	if r := recover(); r != nil {
+		switch r := r.(type) {
+		case *MLRaise:
+			obs.Count(m.Obs, "interp.uncaught", 1)
+			*err = &UncaughtError{Packet: r.Packet}
+		case *CrashError:
+			obs.Count(m.Obs, "interp.crashes", 1)
+			*err = r
+		default:
+			panic(r)
+		}
+	}
 }
 
 func (m *Machine) step() {

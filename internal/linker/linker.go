@@ -20,6 +20,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/dynenv"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pid"
 )
 
@@ -136,15 +137,40 @@ func sortByName(us []*compiler.Unit) {
 // Run verifies, sorts, and executes a link set against the base
 // dynamic environment, extending it with every unit's exports.
 func Run(m *interp.Machine, units []*compiler.Unit, dyn *dynenv.Env) error {
-	if errs := Verify(units, dyn); len(errs) > 0 {
+	return RunObserved(m, units, dyn, nil, nil)
+}
+
+// RunObserved is Run under instrumentation: verification and sorting
+// get phase spans under parent, every unit of the link set gets a unit
+// span holding its "execute" phase tree (see compiler.ExecuteObserved),
+// and the link.* counters are recorded on rec. Nil parent and nil rec
+// make it exactly Run.
+func RunObserved(m *interp.Machine, units []*compiler.Unit, dyn *dynenv.Env,
+	parent *obs.Span, rec obs.Recorder) error {
+
+	obs.Count(rec, "link.runs", 1)
+	obs.Count(rec, "link.units", int64(len(units)))
+	vspan := parent.Child(obs.CatPhase, "verify")
+	errs := Verify(units, dyn)
+	vspan.End()
+	obs.Count(rec, "link.verify_ns", int64(vspan.Duration()))
+	if len(errs) > 0 {
+		obs.Count(rec, "link.errors", int64(len(errs)))
 		return errs[0]
 	}
+	sspan := parent.Child(obs.CatPhase, "sort")
 	order, err := Sort(units)
+	sspan.End()
 	if err != nil {
+		obs.Count(rec, "link.errors", 1)
 		return err
 	}
 	for _, u := range order {
-		if err := compiler.Execute(m, u, dyn); err != nil {
+		uspan := parent.Child(obs.CatUnit, u.Name)
+		err := compiler.ExecuteObserved(m, u, dyn, uspan, rec)
+		uspan.End()
+		if err != nil {
+			obs.Count(rec, "link.errors", 1)
 			return err
 		}
 	}

@@ -87,8 +87,21 @@ type Explain struct {
 }
 
 // ReportSchema identifies the machine-readable build report format
-// emitted by `irm build -report json` and friends.
-const ReportSchema = "irm-report/1"
+// emitted by `irm build -report json` and friends. Version 2 adds the
+// execute-phase timing keys (timings_ns.exec_imports / exec_apply /
+// exec_bind) fed by the exec.* counter namespace.
+const ReportSchema = "irm-report/2"
+
+// UnitTiming is one unit's committed wall time within a build: the
+// duration of its unit span, from dispatch-side work through the
+// serialized execute/save tail. The Manager records one per committed
+// unit; the build-history ledger persists them and `irm top`
+// aggregates them across builds.
+type UnitTiming struct {
+	Unit   string `json:"unit"`
+	Action string `json:"action"` // ActionLoaded or ActionCompiled
+	Ns     int64  `json:"ns"`
+}
 
 // Report is the machine-readable summary of one build: the classic
 // Stats fields, phase timings, the raw counter deltas, and the full

@@ -116,6 +116,42 @@ func (c *Collector) Since(before map[string]int64) map[string]int64 {
 	return out
 }
 
+// SpanCounts reports how many spans have been opened and how many of
+// them are closed — the audit surface for the fatal-path guarantee
+// that a build, even an aborted one, never leaks an open span into
+// its exported trace.
+func (c *Collector) SpanCounts() (opened, closed int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	opened = len(c.spans)
+	for _, s := range c.spans {
+		if s.ended {
+			closed++
+		}
+	}
+	return opened, closed
+}
+
+// OpenSpans reports the number of spans started but not yet ended.
+func (c *Collector) OpenSpans() int {
+	opened, closed := c.SpanCounts()
+	return opened - closed
+}
+
+// Builds reports how many build generations have begun on this
+// collector.
+func (c *Collector) Builds() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds
+}
+
 // BeginBuild opens a new build generation and returns its 1-based
 // sequence number; explain records filed after this call are stamped
 // with it.

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromName maps a registry counter name onto a legal Prometheus metric
+// name: the "irm_" prefix plus the counter name with every character
+// outside [a-zA-Z0-9_:] replaced by '_' ("build.sched.wait_ns" →
+// "irm_build_sched_wait_ns"). The mapping is injective over the
+// registry of DESIGN.md §4d, whose names use only [a-z_.].
+func PromName(counter string) string {
+	var b strings.Builder
+	b.Grow(len(counter) + 4)
+	b.WriteString("irm_")
+	for i := 0; i < len(counter); i++ {
+		c := counter[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every counter of the collector in the
+// Prometheus text exposition format (one family per counter, with
+// HELP and TYPE lines), sorted by name so scrapes diff cleanly. The
+// values are the collector's cumulative totals — on a collector
+// serving one process they are the same monotonic series a Prometheus
+// server expects, and on a collector that has run exactly one build
+// they equal that build's `-report json` counter deltas.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	counters := c.Counters()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s IRM telemetry counter %s\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package obsserve is the IRM's live telemetry endpoint: a small
+// stdlib-only HTTP server that exposes the process's counter registry
+// in the Prometheus text exposition format, the Go runtime profiles,
+// a liveness probe, and the build-history ledger. It is mounted by
+// `irm serve` (a build followed by a blocking server) and by
+// `irm build -serve :addr` (serve while the build runs, useful for
+// profiling a long build live).
+//
+// Routes:
+//
+//	/metrics       counter registry as Prometheus text format, plus
+//	               irm_uptime_seconds and irm_builds_total
+//	/healthz       200 "ok" while the process lives
+//	/builds        the history ledger's records as a JSON array
+//	/debug/pprof/  the standard Go profiles (heap, goroutine, profile,
+//	               trace, ...), wired explicitly — importing
+//	               net/http/pprof's side effects into DefaultServeMux
+//	               would leak the profiles onto any other mux the
+//	               process starts
+//
+// Concurrency: every handler reads through the obs.Collector's or the
+// history.Ledger's own locks; the server adds no shared mutable state
+// beyond its start time, set once before Handler is called.
+package obsserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/obs"
+)
+
+// Server holds what the endpoints read. Col is required; Ledger may be
+// nil, in which case /builds serves an empty array.
+type Server struct {
+	Col    *obs.Collector
+	Ledger *history.Ledger
+	Start  time.Time
+}
+
+// New wires a server over the collector and (optional) ledger, with
+// the uptime clock started now.
+func New(col *obs.Collector, ledger *history.Ledger) *Server {
+	return &Server{Col: col, Ledger: ledger, Start: time.Now()}
+}
+
+// Handler returns the server's mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/builds", s.builds)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Process-level gauges first, then the registry counters (sorted by
+	// WritePrometheus), so the two server-synthesized families are easy
+	// to spot at the top of a scrape.
+	fmt.Fprintf(w, "# HELP irm_uptime_seconds Seconds since the telemetry server started.\n")
+	fmt.Fprintf(w, "# TYPE irm_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "irm_uptime_seconds %g\n", time.Since(s.Start).Seconds())
+	fmt.Fprintf(w, "# HELP irm_builds_total Builds recorded by this process's collector.\n")
+	fmt.Fprintf(w, "# TYPE irm_builds_total counter\n")
+	fmt.Fprintf(w, "irm_builds_total %d\n", s.Col.Builds())
+	s.Col.WritePrometheus(w)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) builds(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	recs := []history.Record{}
+	if s.Ledger != nil {
+		got, _, err := s.Ledger.ReadAll()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if got != nil {
+			recs = got
+		}
+	}
+	json.NewEncoder(w).Encode(recs)
+}

@@ -1,0 +1,177 @@
+package obsserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/obs"
+)
+
+func buildOnce(t *testing.T) (*obs.Collector, *core.Manager) {
+	t.Helper()
+	col := obs.New()
+	m := core.NewManager()
+	m.Obs = col
+	files := []core.File{
+		{Name: "a.sml", Source: "structure A = struct val one = 1 end"},
+		{Name: "b.sml", Source: "structure B = struct val two = A.one + A.one end"},
+	}
+	if _, err := m.Build(files); err != nil {
+		t.Fatal(err)
+	}
+	return col, m
+}
+
+func get(t *testing.T, srv *Server, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	body, _ := io.ReadAll(rr.Result().Body)
+	return rr.Code, string(body), rr.Result().Header.Get("Content-Type")
+}
+
+// promLine matches a sample line of the text exposition format:
+// a bare metric name followed by one value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]* (?:[0-9.eE+-]+|NaN)$`)
+
+// parseProm validates the exposition text the way a scrape would —
+// every line is a comment or a well-formed sample, every sample is
+// preceded by its HELP and TYPE — and returns the samples.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	announced := map[string]bool{}
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			announced[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d: not a valid sample line: %q", i+1, line)
+		}
+		f := strings.Fields(line)
+		name := f[0]
+		if !announced[name] {
+			t.Fatalf("line %d: sample %s has no HELP/TYPE", i+1, name)
+		}
+		if _, dup := samples[name]; dup {
+			t.Fatalf("line %d: duplicate sample for %s", i+1, name)
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", i+1, f[1], err)
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+// TestMetricsMatchReport is the acceptance check: on a process that
+// has run exactly one build, every /metrics counter equals that
+// build's -report json counter delta.
+func TestMetricsMatchReport(t *testing.T) {
+	col, m := buildOnce(t)
+	srv := New(col, nil)
+	code, body, ctype := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	samples := parseProm(t, body)
+
+	rep := m.Report("g.cm")
+	if len(rep.Counters) == 0 {
+		t.Fatal("report has no counters; nothing to compare")
+	}
+	for name, want := range rep.Counters {
+		got, ok := samples[obs.PromName(name)]
+		if !ok {
+			t.Errorf("counter %s missing from /metrics", name)
+			continue
+		}
+		if int64(got) != want {
+			t.Errorf("counter %s: /metrics %v, report %d", name, got, want)
+		}
+	}
+	if samples["irm_builds_total"] != 1 {
+		t.Errorf("irm_builds_total = %v, want 1", samples["irm_builds_total"])
+	}
+	if _, ok := samples["irm_uptime_seconds"]; !ok {
+		t.Error("irm_uptime_seconds missing")
+	}
+	// The execute phase must be visible on the wire.
+	for _, name := range []string{"irm_exec_units", "irm_exec_apply_ns"} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("%s missing from /metrics", name)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	col, _ := buildOnce(t)
+	code, body, _ := get(t, New(col, nil), "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestBuilds(t *testing.T) {
+	col, m := buildOnce(t)
+
+	// No ledger: an empty array, not null, not an error.
+	_, body, ctype := get(t, New(col, nil), "/builds")
+	if strings.TrimSpace(body) != "[]" || ctype != "application/json" {
+		t.Fatalf("/builds without ledger = %q (%s)", body, ctype)
+	}
+
+	dir := t.TempDir()
+	l, err := history.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recID := history.FromReport(m.Report("g.cm"), m.UnitTimings, 2,
+		5*time.Millisecond, time.Unix(1700000000, 0), nil)
+	if err := l.Append(recID); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := get(t, New(col, l), "/builds")
+	if code != 200 {
+		t.Fatalf("/builds status %d", code)
+	}
+	var recs []history.Record
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("/builds not JSON: %v\n%s", err, body)
+	}
+	if len(recs) != 1 || recs[0].Name != "g.cm" || recs[0].Schema != history.Schema {
+		t.Fatalf("/builds = %+v", recs)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	col, _ := buildOnce(t)
+	code, body, _ := get(t, New(col, nil), "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}

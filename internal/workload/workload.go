@@ -18,6 +18,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
@@ -146,6 +148,29 @@ func Generate(cfg Config) *Project {
 
 // UnitName returns the source-file name of unit i.
 func UnitName(i int) string { return fmt.Sprintf("u%03d.sml", i) }
+
+// Materialize writes the project to dir as loose source files plus a
+// "group.cm" group file listing them in definition order, and returns
+// the group file's path — the on-disk form `irm build` consumes.
+// `irm gen` uses this to hand CI and profiling runs a reproducible
+// project without shipping one in the repository.
+func (p *Project) Materialize(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var names []string
+	for _, f := range p.Files {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), []byte(f.Source), 0o644); err != nil {
+			return "", err
+		}
+		names = append(names, f.Name)
+	}
+	groupPath := filepath.Join(dir, "group.cm")
+	if err := os.WriteFile(groupPath, []byte(strings.Join(names, "\n")+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return groupPath, nil
+}
 
 func depsFor(cfg Config, rng *rand.Rand, i int) []int {
 	if i == 0 {

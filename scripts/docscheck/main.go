@@ -1,18 +1,30 @@
-// Command docscheck is CI's docs-health gate: every package under
-// internal/ must have a package doc comment, and that comment must
-// state the package's concurrency contract (a "Concurrency:"
-// paragraph) — the discipline ARCHITECTURE.md §5 describes. Exits
-// non-zero listing every package that fails.
+// Command docscheck is CI's docs-health gate. Two checks:
+//
+//   - Package docs: every package under internal/ must have a package
+//     doc comment, and that comment must state the package's
+//     concurrency contract (a "Concurrency:" paragraph) — the
+//     discipline ARCHITECTURE.md §5 describes.
+//   - Counter registry: the DESIGN.md §4d counter table must match
+//     the string-literal counter names non-test code actually passes
+//     to Add/Count, in both directions. A counter the code emits but
+//     the table omits is undocumented telemetry; a table entry no
+//     code emits is documentation rot. Either fails CI.
+//
+// Exits non-zero listing every failure.
 //
 // Concurrency: a single-goroutine command-line tool.
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -44,14 +56,139 @@ func main() {
 			failed = append(failed, dir+": package doc states no concurrency contract (want a \"Concurrency:\" paragraph)")
 		}
 	}
+	failed = append(failed, checkCounterRegistry(root)...)
 	if len(failed) > 0 {
 		for _, f := range failed {
 			fmt.Fprintln(os.Stderr, "docscheck:", f)
 		}
-		fmt.Fprintf(os.Stderr, "docscheck: %d package(s) failing docs health\n", len(failed))
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s) failing docs health\n", len(failed))
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d packages healthy\n", len(dirs))
+	fmt.Printf("docscheck: %d packages healthy, counter registry in sync\n", len(dirs))
+}
+
+// counterPat is the shape of a registry counter name: at least one
+// dot-separated namespace, lower-case (matching the DESIGN.md §4d
+// convention). Filters out ordinary strings passed to Add-named
+// methods elsewhere.
+var counterPat = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_.]+)+$`)
+
+// checkCounterRegistry diffs the DESIGN.md §4d table against the
+// counters emitted by non-test code under root (internal/) and cmd/.
+func checkCounterRegistry(root string) []string {
+	documented, err := tableCounters("DESIGN.md")
+	if err != nil {
+		return []string{fmt.Sprintf("counter registry: %v", err)}
+	}
+	if len(documented) == 0 {
+		return []string{"counter registry: no counter table found in DESIGN.md §4d"}
+	}
+	emitted, err := emittedCounters(root, "cmd")
+	if err != nil {
+		return []string{fmt.Sprintf("counter registry: %v", err)}
+	}
+	var failed []string
+	for name, where := range emitted {
+		if !documented[name] {
+			failed = append(failed, fmt.Sprintf(
+				"counter registry: %s is emitted (%s) but missing from the DESIGN.md §4d table", name, where))
+		}
+	}
+	for name := range documented {
+		if _, ok := emitted[name]; !ok {
+			failed = append(failed, fmt.Sprintf(
+				"counter registry: %s is in the DESIGN.md §4d table but no non-test code emits it", name))
+		}
+	}
+	sort.Strings(failed)
+	return failed
+}
+
+// tableRow matches a registry table line: | `prefix.` | `c1 c2 ...` ...
+var tableRow = regexp.MustCompile("^\\| `([a-z_.]+)` \\| `([a-z0-9_. ]+)`")
+
+// tableCounters parses the §4d table into the set of fully qualified
+// counter names it documents.
+func tableCounters(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := tableRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		prefix := m[1]
+		for _, c := range strings.Fields(m[2]) {
+			out[prefix+c] = true
+		}
+	}
+	return out, nil
+}
+
+// emittedCounters walks every non-test Go file under the roots and
+// collects string literals that look like counter names passed to a
+// call whose method is named Add or Count. Returns name -> one
+// emitting position (for the error message).
+func emittedCounters(roots ...string) (map[string]string, error) {
+	out := map[string]string{}
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %v", path, err)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if name != "Add" && name != "Count" {
+					return true
+				}
+				for _, arg := range call.Args {
+					lit, ok := arg.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					s, err := strconv.Unquote(lit.Value)
+					if err != nil || !counterPat.MatchString(s) {
+						continue
+					}
+					if _, seen := out[s]; !seen {
+						out[s] = fset.Position(lit.Pos()).String()
+					}
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// calleeName returns the called function or method's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
 }
 
 // packageDoc returns the concatenated package doc comments of the

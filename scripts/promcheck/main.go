@@ -1,0 +1,112 @@
+// Command promcheck validates a Prometheus text-exposition scrape on
+// stdin: every line must be a HELP/TYPE comment or a well-formed
+// sample, every sample's metric name must have been announced by a
+// preceding HELP and TYPE, values must parse as floats, and no metric
+// may sample twice. CI's serve-smoke job pipes `curl /metrics` through
+// it so a malformed exposition (which a real Prometheus server would
+// drop silently, per-target) fails the build loudly instead.
+//
+// Usage: curl -s localhost:PORT/metrics | promcheck
+//
+// With -require name (repeatable via comma list), the named metrics
+// must be present — the smoke test pins the families it cares about.
+//
+// Concurrency: a single-goroutine command-line tool.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9]+)?$`)
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric names that must be present")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	announcedHelp := map[string]bool{}
+	announcedType := map[string]bool{}
+	seen := map[string]int{}
+	lineNo := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "promcheck: line %d: %s\n", lineNo, fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && (f[1] == "HELP" || f[1] == "TYPE") {
+				if !nameRe.MatchString(f[2]) {
+					fail("bad metric name in %s: %q", f[1], f[2])
+				}
+				if f[1] == "HELP" {
+					if announcedHelp[f[2]] {
+						fail("duplicate HELP for %s", f[2])
+					}
+					announcedHelp[f[2]] = true
+				} else {
+					if len(f) < 4 {
+						fail("TYPE without a type: %q", line)
+					}
+					switch f[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						fail("unknown TYPE %q for %s", f[3], f[2])
+					}
+					announcedType[f[2]] = true
+				}
+				continue
+			}
+			continue // free-form comment: legal, ignored
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			fail("not a valid sample: %q", line)
+		}
+		name := m[1]
+		if !announcedHelp[name] || !announcedType[name] {
+			fail("sample %s not announced by HELP and TYPE", name)
+		}
+		if v := m[3]; v != "NaN" && v != "+Inf" && v != "-Inf" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				fail("bad value %q for %s", v, name)
+			}
+		}
+		key := name + m[2] // name + labels: a series may sample only once
+		seen[key]++
+		if seen[key] > 1 {
+			fail("duplicate sample for %s", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	var missing []string
+	for _, want := range strings.Split(*require, ",") {
+		if want = strings.TrimSpace(want); want != "" && seen[want] == 0 {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: required metrics missing: %s\n", strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d series valid\n", len(seen))
+}
