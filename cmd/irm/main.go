@@ -6,9 +6,11 @@
 //	irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
 //	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
 //	          [-serve addr] [-history dir|off]
+//	irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
+//	          [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json] [-v]
 //	irm serve [group.cm] [-addr host:port] [-store dir] [-j n] [-history dir|off]
-//	irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t]
-//	irm top [-store dir | -dir ledgerdir] [-n k]
+//	irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t] [-since d]
+//	irm top [-store dir | -dir ledgerdir] [-n k] [-since d]
 //	irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
 //	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
 //	irm deps  group.cm
@@ -29,10 +31,20 @@
 // the crash-safe history ledger beside the store (disable with
 // -history off); `irm history` renders the ledger as a trend table
 // and flags wall-time regressions against the trailing median, `irm
-// top` ranks units by accumulated cost, and `irm serve` (or `irm
-// build -serve addr`) exposes /metrics in Prometheus text format,
-// /debug/pprof, /healthz, and /builds over HTTP while the process
-// runs.
+// top` ranks units by accumulated cost (both take -since to restrict
+// to recent records), and `irm serve` (or `irm build -serve addr`)
+// exposes /metrics in Prometheus text format, /debug/pprof, /healthz,
+// and /builds over HTTP while the process runs.
+//
+// `irm watch` is the continuous rebuild loop: it polls the group's
+// sources for changes and rebuilds incrementally on every edit,
+// holding the store lock for the whole session. Each iteration lands
+// in the ledger, in the watch.latency_seconds histogram (-serve
+// exposes it on /metrics, plus a live /watch SSE event stream), and —
+// with -report — in an irm-watch/1 session summary with p50/p90/p99
+// edit→rebuild latency. -drive n runs a scripted n-edit session
+// against a workload-generated project (see `irm gen`), the harness
+// CI's watch smoke test uses.
 package main
 
 import (
@@ -60,6 +72,8 @@ func main() {
 		cmdBuild(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
 	case "history":
@@ -117,9 +131,11 @@ func usage() {
   irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
             [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
             [-serve addr] [-history dir|off]
+  irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
+            [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json] [-v]
   irm serve [group.cm] [-addr host:port] [-store dir] [-policy p] [-j n] [-history dir|off]
-  irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t]
-  irm top [-store dir | -dir ledgerdir] [-n k]
+  irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t] [-since d]
+  irm top [-store dir | -dir ledgerdir] [-n k] [-since d]
   irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
   irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
   irm deps  group.cm

@@ -146,6 +146,7 @@ func cmdHistory(args []string) {
 	limit := fs.Int("n", 20, "show at most n newest records")
 	window := fs.Int("window", 10, "trailing builds forming the regression baseline")
 	threshold := fs.Float64("threshold", 0.25, "regression threshold (0.25 = 25% over median)")
+	since := fs.Duration("since", 0, "only records newer than this age (e.g. 30m, 2h; 0 = all)")
 	fs.Parse(args)
 
 	ledgerDir := *dir
@@ -162,6 +163,9 @@ func cmdHistory(args []string) {
 	}
 	if skipped > 0 {
 		fmt.Fprintf(os.Stderr, "irm: skipped %d corrupt ledger lines\n", skipped)
+	}
+	if *since > 0 {
+		recs = history.FilterSince(recs, time.Now().Add(-*since))
 	}
 	if len(recs) == 0 {
 		fmt.Println("no builds recorded")
@@ -206,6 +210,7 @@ func cmdTop(args []string) {
 	storeDir := fs.String("store", ".irm-store", "bin cache directory the ledger sits beside")
 	dir := fs.String("dir", "", "ledger directory (overrides -store derivation)")
 	limit := fs.Int("n", 10, "show at most n units")
+	since := fs.Duration("since", 0, "only records newer than this age (e.g. 30m, 2h; 0 = all)")
 	fs.Parse(args)
 
 	ledgerDir := *dir
@@ -219,6 +224,9 @@ func cmdTop(args []string) {
 	recs, _, err := l.ReadAll()
 	if err != nil {
 		fatal(err)
+	}
+	if *since > 0 {
+		recs = history.FilterSince(recs, time.Now().Add(-*since))
 	}
 	top := history.Top(recs)
 	if len(top) == 0 {

@@ -1,0 +1,406 @@
+package repro
+
+// End-to-end tests for `irm watch`: a scripted drive session whose
+// store must match cold builds byte for byte, the live -serve surface
+// (/watch SSE + the latency histogram on /metrics), and the -since
+// filter of `irm history`/`irm top`.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/obs"
+	"repro/internal/watch"
+)
+
+// watchProc is a running `irm watch` subprocess with its stdout
+// captured and its stderr scanned for the -serve announcement.
+type watchProc struct {
+	cmd    *exec.Cmd
+	stdout *bytes.Buffer
+	addr   chan string
+}
+
+func startWatch(t *testing.T, bin string, args ...string) *watchProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"watch"}, args...)...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &watchProc{cmd: cmd, stdout: &stdout, addr: make(chan string, 1)}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "irm: listening on "); ok {
+				select {
+				case p.addr <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return p
+}
+
+// wait blocks until the process exits, failing the test on timeout or
+// a nonzero status, and returns its stdout.
+func (p *watchProc) wait(t *testing.T, timeout time.Duration) string {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("irm watch exited: %v\n%s", err, p.stdout.String())
+		}
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		t.Fatalf("irm watch did not exit\n%s", p.stdout.String())
+	}
+	return p.stdout.String()
+}
+
+// storeBins reads every top-level .bin file of a store directory.
+func storeBins(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".bin") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestWatchCLIDriveSession runs the scripted-session acceptance path
+// end to end through the real binary: `irm watch -drive` edits its own
+// workload, the exit report carries the latency quantiles, the final
+// store matches cold builds at -j1 and -j8 byte for byte, and every
+// iteration landed in the ledger where `irm history` can read it.
+func TestWatchCLIDriveSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	const edits = 10
+	tools := buildTools(t, "irm")
+	work := t.TempDir()
+
+	genOut, err := runTool(t, tools["irm"], "",
+		"gen", "-dir", filepath.Join(work, "proj"), "-units", "8", "-lines", "10")
+	if err != nil {
+		t.Fatalf("irm gen: %v\n%s", err, genOut)
+	}
+	groupPath := strings.TrimSpace(genOut)
+	store := filepath.Join(work, "store")
+
+	p := startWatch(t, tools["irm"], groupPath, "-store", store, "-j", "2",
+		"-poll", "20ms", "-debounce", "5ms",
+		"-drive", "10", "-drive-seed", "3", "-report", "json")
+	out := p.wait(t, 2*time.Minute)
+
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var rep watch.Report
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rep); err != nil {
+		t.Fatalf("last stdout line not a watch report: %v\n%s", err, out)
+	}
+	if rep.Schema != watch.ReportSchema {
+		t.Fatalf("report schema = %q, want %q", rep.Schema, watch.ReportSchema)
+	}
+	if rep.Iterations != edits+1 || rep.Rebuilds != edits {
+		t.Errorf("report iterations=%d rebuilds=%d, want %d/%d",
+			rep.Iterations, rep.Rebuilds, edits+1, edits)
+	}
+	if rep.Latency.Count != edits || rep.Latency.P50Ns <= 0 ||
+		rep.Latency.P99Ns < rep.Latency.P50Ns {
+		t.Errorf("latency summary implausible: %+v", rep.Latency)
+	}
+
+	// Determinism: cold builds of the final edited tree, at two widths,
+	// must produce exactly the bins the watch session left behind.
+	for _, j := range []string{"1", "8"} {
+		coldStore := filepath.Join(work, "cold-j"+j)
+		if out, err := runTool(t, tools["irm"], "",
+			"build", groupPath, "-store", coldStore, "-j", j, "-history", "off"); err != nil {
+			t.Fatalf("cold build -j%s: %v\n%s", j, err, out)
+		}
+		want := storeBins(t, coldStore)
+		got := storeBins(t, store)
+		if len(want) == 0 {
+			t.Fatal("cold build produced no bins")
+		}
+		for name, wantData := range want {
+			if !bytes.Equal(got[name], wantData) {
+				t.Errorf("-j%s: %s differs between watch store and cold build", j, name)
+			}
+		}
+		for name := range got {
+			if _, ok := want[name]; !ok {
+				t.Errorf("-j%s: watch store has extra bin %s", j, name)
+			}
+		}
+	}
+
+	// Every iteration is in the ledger, readable by `irm history`.
+	hist, err := runTool(t, tools["irm"], "", "history", "-store", store)
+	if err != nil {
+		t.Fatalf("irm history: %v\n%s", err, hist)
+	}
+	var okLines int
+	for _, line := range strings.Split(hist, "\n") {
+		if strings.Contains(line, " ok ") {
+			okLines++
+		}
+	}
+	if okLines != edits+1 {
+		t.Errorf("irm history shows %d ok builds, want %d:\n%s", okLines, edits+1, hist)
+	}
+}
+
+// TestWatchCLIServe drives the live surface: an edit made while `irm
+// watch -serve` runs must appear as an SSE iteration event on /watch,
+// the latency histogram must be scrapeable on /metrics, and SIGTERM
+// must end the session cleanly with a report.
+func TestWatchCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm")
+	work := t.TempDir()
+
+	genOut, err := runTool(t, tools["irm"], "",
+		"gen", "-dir", filepath.Join(work, "proj"), "-units", "4", "-lines", "8")
+	if err != nil {
+		t.Fatalf("irm gen: %v\n%s", err, genOut)
+	}
+	groupPath := strings.TrimSpace(genOut)
+	store := filepath.Join(work, "store")
+
+	p := startWatch(t, tools["irm"], groupPath, "-store", store,
+		"-poll", "20ms", "-debounce", "5ms", "-serve", "127.0.0.1:0",
+		"-report", "json")
+	var base string
+	select {
+	case addr := <-p.addr:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("irm watch -serve never announced its address")
+	}
+
+	// Subscribe to /watch before editing so the iteration event cannot
+	// be missed.
+	resp, err := http.Get(base + "/watch")
+	if err != nil {
+		t.Fatalf("GET /watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/watch Content-Type = %q", ct)
+	}
+
+	// Wait for the initial build before editing: an edit that lands
+	// while the watcher is still recording baseline signatures would be
+	// absorbed into the baseline instead of triggering a rebuild.
+	initDeadline := time.Now().Add(30 * time.Second)
+	for {
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		body, _ := readAllString(mresp)
+		if strings.Contains(body, "irm_watch_iterations 1") {
+			break
+		}
+		if time.Now().After(initDeadline) {
+			t.Fatal("initial watch iteration never appeared in /metrics")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Edit one unit; any source change works, the driver isn't needed.
+	unit := filepath.Join(work, "proj", "u000.sml")
+	src, err := os.ReadFile(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(unit, append([]byte("(* cli edit *)\n"), src...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read SSE frames until an iteration event with seq >= 1 arrives.
+	frames := make(chan watch.Event, 8)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev watch.Event
+				if json.Unmarshal([]byte(data), &ev) == nil {
+					frames <- ev
+				}
+			}
+		}
+	}()
+	deadline := time.After(30 * time.Second)
+	var got watch.Event
+	for got.Seq < 1 {
+		select {
+		case got = <-frames:
+		case <-deadline:
+			t.Fatal("no SSE iteration event for the edit")
+		}
+	}
+	if got.Schema != watch.EventSchema || got.Outcome != watch.OutcomeOK {
+		t.Fatalf("SSE event = %+v", got)
+	}
+	if len(got.Changed) == 0 {
+		t.Errorf("SSE event has no changed files: %+v", got)
+	}
+
+	// The rebuild's latency must be scrapeable as a native histogram.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := readAllString(mresp)
+	for _, want := range []string{
+		"# TYPE irm_watch_latency_seconds histogram",
+		"irm_watch_latency_seconds_bucket{le=\"+Inf\"}",
+		"irm_watch_latency_seconds_sum",
+		"irm_watch_latency_seconds_count",
+		"irm_watch_iterations",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// SIGTERM ends the session cleanly; the report still prints.
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out := p.wait(t, 30*time.Second)
+	var rep watch.Report
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rep); err != nil {
+		t.Fatalf("no report after SIGTERM: %v\n%s", err, out)
+	}
+	if rep.Rebuilds < 1 {
+		t.Errorf("report rebuilds = %d, want >= 1", rep.Rebuilds)
+	}
+}
+
+func readAllString(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var sb strings.Builder
+	_, err := bufio.NewReader(resp.Body).WriteTo(&sb)
+	return sb.String(), err
+}
+
+// TestHistorySinceCLI: -since restricts `irm history` and `irm top`
+// to recent records.
+func TestHistorySinceCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm")
+	dir := filepath.Join(t.TempDir(), "ledger")
+	l, err := history.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	rec := func(age time.Duration, name string) history.Record {
+		return history.Record{
+			Schema: history.Schema, TimeUnixNs: now.Add(-age).UnixNano(),
+			Name: name, Policy: "cutoff", Outcome: history.OutcomeOK,
+			WallNs: int64(100 * time.Millisecond), Units: 2, Loaded: 2,
+		}
+	}
+	if err := l.Append(rec(3*time.Hour, "old.cm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(time.Minute, "new.cm")); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runTool(t, tools["irm"], "", "history", "-dir", dir)
+	if err != nil {
+		t.Fatalf("irm history: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "old.cm") || !strings.Contains(out, "new.cm") {
+		t.Fatalf("unfiltered history missing records:\n%s", out)
+	}
+
+	out, err = runTool(t, tools["irm"], "", "history", "-dir", dir, "-since", "1h")
+	if err != nil {
+		t.Fatalf("irm history -since: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "old.cm") {
+		t.Errorf("-since 1h still shows the 3h-old record:\n%s", out)
+	}
+	if !strings.Contains(out, "new.cm") {
+		t.Errorf("-since 1h dropped the recent record:\n%s", out)
+	}
+
+	// A window excluding everything reports emptiness rather than erroring.
+	out, err = runTool(t, tools["irm"], "", "history", "-dir", dir, "-since", "1s")
+	if err != nil {
+		t.Fatalf("irm history -since 1s: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "new.cm") || strings.Contains(out, "old.cm") {
+		t.Errorf("-since 1s should filter all records:\n%s", out)
+	}
+
+	// `irm top` honors the same flag. The old record is the only one
+	// with unit timings, so filtering it empties the table.
+	if err := l.Append(history.Record{
+		Schema: history.Schema, TimeUnixNs: now.Add(-2 * time.Hour).UnixNano(),
+		Name: "old.cm", Policy: "cutoff", Outcome: history.OutcomeOK,
+		WallNs: int64(time.Second), Units: 1, Compiled: 1,
+		UnitTimings: []obs.UnitTiming{{Unit: "slow.sml", Action: obs.ActionCompiled, Ns: int64(time.Second)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runTool(t, tools["irm"], "", "top", "-dir", dir)
+	if err != nil {
+		t.Fatalf("irm top: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "slow.sml") {
+		t.Fatalf("irm top missing slow.sml:\n%s", out)
+	}
+	out, err = runTool(t, tools["irm"], "", "top", "-dir", dir, "-since", "1h")
+	if err != nil {
+		t.Fatalf("irm top -since: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "slow.sml") {
+		t.Errorf("irm top -since 1h still aggregates the old record:\n%s", out)
+	}
+}

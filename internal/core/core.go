@@ -61,10 +61,13 @@ func (p Policy) String() string {
 	return "cutoff"
 }
 
-// File is one source file of a group.
+// File is one source file of a group. Path, when non-empty, is the
+// on-disk location the source was read from — the watch loop polls it
+// for changes; in-memory files (tests, benches) leave it empty.
 type File struct {
 	Name   string
 	Source string
+	Path   string
 }
 
 // Entry is the cached result of compiling one unit.
@@ -106,6 +109,15 @@ type Locker interface {
 	// function, or fails after the store's lock timeout.
 	Lock() (release func(), err error)
 }
+
+// Unlocked returns a view of s without its Locker, for callers that
+// already hold the store lock across several builds: a watch session
+// acquires the lock once for its whole lifetime (the heartbeat in
+// lock.go keeps it fresh through quiet periods) and hands the Manager
+// this view so per-build re-acquisition cannot self-deadlock.
+func Unlocked(s Store) Store { return unlocked{s} }
+
+type unlocked struct{ Store }
 
 // CorruptError reports a cache entry that exists but failed
 // validation: torn write, bit rot, truncation, or a forged trailer.
@@ -299,6 +311,16 @@ func (m *Manager) envCache() *pickle.EnvCache {
 // unchanged are rehydrated from their cached bins instead of being
 // recompiled.
 func (m *Manager) Build(files []File) (*compiler.Session, error) {
+	return m.BuildUnder(nil, files)
+}
+
+// BuildUnder is Build with the build's root span nested under parent —
+// the watch loop parents every incremental build under its
+// per-iteration `watch` span, so a long-lived session exports one
+// coherent trace tree instead of disconnected roots. parent must
+// belong to m.Obs (or be nil, which is a plain Build). Everything
+// else — outputs, Stats, explain records — is identical to Build.
+func (m *Manager) BuildUnder(parent *obs.Span, files []File) (*compiler.Session, error) {
 	// All accounting goes through one collector; Stats, Counters, and
 	// Explains are projected from it when Build returns (on every
 	// path, including errors).
@@ -308,8 +330,13 @@ func (m *Manager) Build(files []File) (*compiler.Session, error) {
 	}
 	gen := col.BeginBuild()
 	m.UnitTimings = nil
-	bspan := col.StartSpan(obs.CatBuild, "build").
-		Arg("policy", m.Policy.String()).Arg("units", len(files))
+	var bspan *obs.Span
+	if parent != nil {
+		bspan = parent.Child(obs.CatBuild, "build")
+	} else {
+		bspan = col.StartSpan(obs.CatBuild, "build")
+	}
+	bspan.Arg("policy", m.Policy.String()).Arg("units", len(files))
 	defer bspan.End()
 	before := col.Counters()
 	defer func() {

@@ -50,6 +50,12 @@ type DirStore struct {
 	// probed (default 10 minutes).
 	LockTimeout    time.Duration
 	LockStaleAfter time.Duration
+	// HeartbeatEvery is the interval at which a live lock holder
+	// refreshes the lockfile's mtime so LockStaleAfter never steals
+	// from it (a watch session can hold the lock far longer than the
+	// staleness window). Zero means LockStaleAfter/4; negative
+	// disables the heartbeat.
+	HeartbeatEvery time.Duration
 
 	mu  sync.Mutex    // in-process half of the advisory lock
 	seq atomic.Uint64 // temp-file uniquifier
@@ -343,21 +349,31 @@ type Group struct {
 // LoadGroup reads a ".cm"-style group description: one source filename
 // per line (relative to the group file), '#' comments, and
 // "group other.cm" lines including subgroups (depth-first, each file
-// once).
+// once). Every returned File carries the Path it was read from.
 func LoadGroup(path string) (*Group, error) {
+	return LoadGroupFS(path, OSFS{})
+}
+
+// LoadGroupFS is LoadGroup over an explicit filesystem, so the watch
+// loop's group reloads go through the same fault-injectable FS as its
+// polling and the store's writes.
+func LoadGroupFS(path string, fsys FS) (*Group, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
 	g := &Group{Name: path}
 	seen := map[string]bool{}
-	if err := loadGroupInto(path, g, seen, 0); err != nil {
+	if err := loadGroupInto(fsys, path, g, seen, 0); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
-func loadGroupInto(path string, g *Group, seen map[string]bool, depth int) error {
+func loadGroupInto(fsys FS, path string, g *Group, seen map[string]bool, depth int) error {
 	if depth > 32 {
 		return fmt.Errorf("irm: group nesting too deep at %s", path)
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -373,7 +389,7 @@ func loadGroupInto(path string, g *Group, seen map[string]bool, depth int) error
 				continue
 			}
 			seen[subPath] = true
-			if err := loadGroupInto(subPath, g, seen, depth+1); err != nil {
+			if err := loadGroupInto(fsys, subPath, g, seen, depth+1); err != nil {
 				return err
 			}
 			continue
@@ -383,11 +399,11 @@ func loadGroupInto(path string, g *Group, seen map[string]bool, depth int) error
 			continue
 		}
 		seen[srcPath] = true
-		src, err := os.ReadFile(srcPath)
+		src, err := fsys.ReadFile(srcPath)
 		if err != nil {
 			return err
 		}
-		g.Files = append(g.Files, File{Name: line, Source: string(src)})
+		g.Files = append(g.Files, File{Name: line, Source: string(src), Path: srcPath})
 	}
 	return nil
 }

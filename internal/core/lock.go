@@ -36,6 +36,16 @@ func (s *DirStore) lockStaleAfter() time.Duration {
 	return defaultLockStaleAfter
 }
 
+func (s *DirStore) heartbeatEvery() time.Duration {
+	if s.HeartbeatEvery < 0 {
+		return 0 // disabled
+	}
+	if s.HeartbeatEvery > 0 {
+		return s.HeartbeatEvery
+	}
+	return s.lockStaleAfter() / 4
+}
+
 // Lock implements Locker: it serializes builds over one store across
 // goroutines (an in-process mutex) and across processes (an
 // O_CREAT|O_EXCL lockfile recording the holder's pid). A lockfile
@@ -60,7 +70,9 @@ func (s *DirStore) Lock() (func(), error) {
 			if contended {
 				obs.Count(s.Obs, "lock.contended", 1)
 			}
+			stopBeat := s.startHeartbeat(lockPath)
 			release := func() {
+				stopBeat()
 				fsys.Remove(lockPath)
 				s.mu.Unlock()
 			}
@@ -87,6 +99,46 @@ func (s *DirStore) Lock() (func(), error) {
 				s.Dir, strings.TrimSpace(string(holder)))
 		}
 		time.Sleep(lockPollInterval)
+	}
+}
+
+// startHeartbeat refreshes the lockfile's mtime every heartbeatEvery()
+// while the lock is held, so a holder that legitimately outlives
+// LockStaleAfter (a watch session across a quiet afternoon) is never
+// mistaken for an abandoned one by lockIsStale's mtime fallback. The
+// rewrite deliberately omits O_CREATE: once release removes the file, a
+// straggling tick cannot resurrect it. Returns a stop function; safe to
+// call once, before the file is removed.
+func (s *DirStore) startHeartbeat(lockPath string) func() {
+	every := s.heartbeatEvery()
+	if every <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				f, err := s.fs().OpenFile(lockPath, os.O_WRONLY|os.O_TRUNC, 0o644)
+				if err != nil {
+					continue // transient; the next tick retries
+				}
+				fmt.Fprintf(f, "pid %d\n", os.Getpid())
+				f.Sync()
+				f.Close()
+				obs.Count(s.Obs, "lock.heartbeats", 1)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
 	}
 }
 

@@ -105,6 +105,67 @@ func TestLockMtimeStaleTakeover(t *testing.T) {
 	release()
 }
 
+// TestLockHeartbeatPreventsStaleTakeover is the regression test for a
+// live-holder steal: lockIsStale falls through to the mtime heuristic
+// even when the recorded pid is alive, so before the heartbeat a holder
+// that outlived LockStaleAfter (e.g. a watch session) had its lock
+// stolen out from under it. With the heartbeat the mtime stays fresh
+// and a competitor times out instead.
+func TestLockHeartbeatPreventsStaleTakeover(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.LockStaleAfter = 200 * time.Millisecond
+	a.HeartbeatEvery = 50 * time.Millisecond
+	release, err := a.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	b, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.LockStaleAfter = 200 * time.Millisecond
+	b.LockTimeout = 700 * time.Millisecond
+	if _, err := b.Lock(); err == nil {
+		t.Fatal("competitor stole the lock from a live, heartbeating holder")
+	}
+}
+
+// Control for the regression above: with the heartbeat disabled, the
+// old behaviour reappears — the competitor's mtime heuristic steals the
+// live holder's lock once it ages past LockStaleAfter.
+func TestLockNoHeartbeatIsStolenWhenStale(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.LockStaleAfter = 200 * time.Millisecond
+	a.HeartbeatEvery = -1
+	release, err := a.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	b, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.LockStaleAfter = 200 * time.Millisecond
+	b.LockTimeout = 5 * time.Second
+	releaseB, err := b.Lock()
+	if err != nil {
+		t.Fatalf("expected mtime-stale takeover without heartbeat, got: %v", err)
+	}
+	releaseB()
+}
+
 func TestLockSweepsAbandonedTemps(t *testing.T) {
 	s := testStore(t)
 	tmp := filepath.Join(s.Dir, "a.sml.bin.tmp.12345.1")

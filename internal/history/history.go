@@ -354,6 +354,20 @@ func (l *Ledger) ReadAll() ([]Record, int, error) {
 	return recs, skipped, nil
 }
 
+// FilterSince returns the records stamped at or after cutoff,
+// preserving order — the `-since 30m` view of `irm history` and
+// `irm top`.
+func FilterSince(recs []Record, cutoff time.Time) []Record {
+	ns := cutoff.UnixNano()
+	var out []Record
+	for _, r := range recs {
+		if r.TimeUnixNs >= ns {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Regression marks one record whose wall time exceeded the trailing
 // median of comparable predecessors by more than the threshold.
 type Regression struct {

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Histogram is an HDR-style latency histogram: fixed log-spaced bucket
+// bounds (√2 steps, so any recorded value is bucketed within ~41% of
+// its true magnitude, tightened further by interpolation at query
+// time), a total count, and a running sum. It is the primitive behind
+// the watch loop's edit→rebuild latency distribution: cheap enough to
+// observe on every iteration of a long-lived session, and exposable
+// both as quantiles in a report and as a native Prometheus histogram
+// (`_bucket`/`_sum`/`_count` with `le` labels) on /metrics.
+//
+// Values are float64s in the unit the histogram's name declares
+// (`watch.latency_seconds` records seconds); bounds are upper bounds,
+// inclusive, matching the Prometheus `le` convention.
+type Histogram struct {
+	mu     sync.Mutex
+	name   string
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []uint64  // len(bounds)+1; the last bucket is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// DefaultLatencyBounds is the bucket ladder histograms are created
+// with: √2-spaced upper bounds from 100µs to ~26s (in seconds), wide
+// enough for a sub-millisecond null rebuild and a multi-second cold
+// cascade on the same axis.
+func DefaultLatencyBounds() []float64 {
+	var bounds []float64
+	for b := 1e-4; b < 30; b *= 1.4142135623730951 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the inclusive le bucket
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Name:   h.name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// HistSnapshot is an immutable copy of a histogram's state. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf
+// overflow bucket.
+type HistSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the target rank. Values in
+// the overflow bucket report the largest finite bound. Returns 0 on an
+// empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*((rank-prev)/float64(c))
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Histogram returns the collector's named histogram, creating it with
+// DefaultLatencyBounds on first use. Safe on nil (returns a nil
+// histogram whose Observe is a no-op).
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hists == nil {
+		c.hists = map[string]*Histogram{}
+	}
+	h := c.hists[name]
+	if h == nil {
+		bounds := DefaultLatencyBounds()
+		h = &Histogram{name: name, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns snapshots of every histogram, sorted by name.
+func (c *Collector) Histograms() []HistSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	hs := make([]*Histogram, 0, len(c.hists))
+	for _, h := range c.hists {
+		hs = append(hs, h)
+	}
+	c.mu.Unlock()
+	out := make([]HistSnapshot, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// formatBound renders a bucket bound the way it appears in an `le`
+// label: shortest round-trippable float.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

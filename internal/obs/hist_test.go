@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	c := New()
+	h := c.Histogram("watch.latency_seconds")
+	bounds := DefaultLatencyBounds()
+
+	// A value exactly on a bound lands in that bound's bucket (le is
+	// inclusive), a value just above in the next.
+	h.Observe(bounds[3])
+	h.Observe(bounds[3] * 1.0001)
+	h.Observe(1e-9) // below the first bound
+	h.Observe(1e9)  // beyond the last bound: overflow
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	if snap.Counts[3] != 1 || snap.Counts[4] != 1 {
+		t.Errorf("on-bound value bucketed wrong: counts[3]=%d counts[4]=%d",
+			snap.Counts[3], snap.Counts[4])
+	}
+	if snap.Counts[0] != 1 {
+		t.Errorf("tiny value not in first bucket: counts[0]=%d", snap.Counts[0])
+	}
+	if snap.Counts[len(snap.Counts)-1] != 1 {
+		t.Errorf("huge value not in overflow: %v", snap.Counts)
+	}
+	wantSum := bounds[3] + bounds[3]*1.0001 + 1e-9 + 1e9
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	c := New()
+	h := c.Histogram("watch.latency_seconds")
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 100 observations at ~1ms, 10 at ~100ms: p50 must sit near 1ms,
+	// p99 near 100ms (within the √2 bucket resolution).
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.1)
+	}
+	snap := h.Snapshot()
+	p50 := snap.Quantile(0.50)
+	p99 := snap.Quantile(0.99)
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Errorf("p50 = %v, want ≈0.001", p50)
+	}
+	if p99 < 0.05 || p99 > 0.2 {
+		t.Errorf("p99 = %v, want ≈0.1", p99)
+	}
+	if p90 := snap.Quantile(0.90); p90 > p99 {
+		t.Errorf("p90 %v > p99 %v", p90, p99)
+	}
+	// Overflow-only histogram reports the largest finite bound.
+	h2 := c.Histogram("other")
+	h2.Observe(1e9)
+	bounds := DefaultLatencyBounds()
+	if q := h2.Snapshot().Quantile(0.5); q != bounds[len(bounds)-1] {
+		t.Errorf("overflow quantile = %v, want %v", q, bounds[len(bounds)-1])
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var c *Collector
+	h := c.Histogram("x") // nil collector → nil histogram
+	if h != nil {
+		t.Fatal("nil collector returned a histogram")
+	}
+	h.Observe(1)                         // must not panic
+	if s := h.Snapshot(); s.Count != 0 { // must not panic
+		t.Fatalf("nil histogram snapshot count = %d", s.Count)
+	}
+	if hs := c.Histograms(); hs != nil {
+		t.Fatalf("nil collector Histograms = %v", hs)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	c := New()
+	c.Add("watch.iterations", 3)
+	h := c.Histogram("watch.latency_seconds")
+	h.Observe(0.001)
+	h.Observe(0.002)
+	h.Observe(999) // overflow
+
+	var sb strings.Builder
+	if err := c.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE irm_watch_latency_seconds histogram",
+		`irm_watch_latency_seconds_bucket{le="+Inf"} 3`,
+		"irm_watch_latency_seconds_count 3",
+		"irm_watch_latency_seconds_sum ",
+		"irm_watch_iterations 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Cumulative monotonicity: the last finite bucket must hold 2 (the
+	// overflow value is only in +Inf).
+	lines := strings.Split(text, "\n")
+	var lastFinite string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "irm_watch_latency_seconds_bucket{le=") &&
+			!strings.Contains(l, "+Inf") {
+			lastFinite = l
+		}
+	}
+	if !strings.HasSuffix(lastFinite, " 2") {
+		t.Errorf("last finite bucket = %q, want cumulative 2", lastFinite)
+	}
+}

@@ -65,6 +65,7 @@ type Collector struct {
 	mu       sync.Mutex
 	epoch    time.Time
 	counters map[string]int64
+	hists    map[string]*Histogram
 	spans    []*Span
 	explains []Explain
 	builds   int

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -31,8 +32,10 @@ func PromName(counter string) string {
 
 // WritePrometheus renders every counter of the collector in the
 // Prometheus text exposition format (one family per counter, with
-// HELP and TYPE lines), sorted by name so scrapes diff cleanly. The
-// values are the collector's cumulative totals — on a collector
+// HELP and TYPE lines), sorted by name so scrapes diff cleanly,
+// followed by every histogram as a native Prometheus histogram family
+// (cumulative `_bucket` series with `le` labels, `_sum`, `_count`).
+// The values are the collector's cumulative totals — on a collector
 // serving one process they are the same monotonic series a Prometheus
 // server expects, and on a collector that has run exactly one build
 // they equal that build's `-report json` counter deltas.
@@ -50,6 +53,39 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 			pn, name, pn, pn, counters[name]); err != nil {
 			return err
 		}
+	}
+	for _, h := range c.Histograms() {
+		if err := writePromHistogram(w, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram snapshot as a Prometheus
+// histogram family: per-bucket counts accumulated into the cumulative
+// `le` series the exposition format requires, closed by the mandatory
+// `le="+Inf"` bucket that equals `_count`.
+func writePromHistogram(w io.Writer, h HistSnapshot) error {
+	pn := PromName(h.Name)
+	if _, err := fmt.Fprintf(w,
+		"# HELP %s IRM latency histogram %s\n# TYPE %s histogram\n",
+		pn, h.Name, pn); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatBound(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		pn, strconv.FormatFloat(h.Sum, 'g', -1, 64), pn, h.Count); err != nil {
+		return err
 	}
 	return nil
 }

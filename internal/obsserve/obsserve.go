@@ -8,19 +8,24 @@
 //
 // Routes:
 //
-//	/metrics       counter registry as Prometheus text format, plus
-//	               irm_uptime_seconds and irm_builds_total
+//	/metrics       counter registry as Prometheus text format (counters
+//	               and histograms), plus irm_uptime_seconds and
+//	               irm_builds_total
 //	/healthz       200 "ok" while the process lives
 //	/builds        the history ledger's records as a JSON array
+//	/watch         Server-Sent Events stream of watch iterations (one
+//	               `event: iteration` per rebuild); 404 unless the
+//	               process runs a watch session
 //	/debug/pprof/  the standard Go profiles (heap, goroutine, profile,
 //	               trace, ...), wired explicitly — importing
 //	               net/http/pprof's side effects into DefaultServeMux
 //	               would leak the profiles onto any other mux the
 //	               process starts
 //
-// Concurrency: every handler reads through the obs.Collector's or the
-// history.Ledger's own locks; the server adds no shared mutable state
-// beyond its start time, set once before Handler is called.
+// Concurrency: every handler reads through the obs.Collector's, the
+// history.Ledger's, or the watch.Hub's own locks; the server adds no
+// shared mutable state beyond its start time, set once before Handler
+// is called.
 package obsserve
 
 import (
@@ -32,13 +37,16 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/obs"
+	"repro/internal/watch"
 )
 
 // Server holds what the endpoints read. Col is required; Ledger may be
-// nil, in which case /builds serves an empty array.
+// nil, in which case /builds serves an empty array; Watch may be nil,
+// in which case /watch answers 404.
 type Server struct {
 	Col    *obs.Collector
 	Ledger *history.Ledger
+	Watch  *watch.Hub
 	Start  time.Time
 }
 
@@ -54,6 +62,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/builds", s.builds)
+	mux.HandleFunc("/watch", s.watch)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -95,4 +104,45 @@ func (s *Server) builds(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	json.NewEncoder(w).Encode(recs)
+}
+
+// watch streams watch iterations as Server-Sent Events: one
+// `event: iteration` frame per rebuild, the Event JSON as data. The
+// stream lives until the client disconnects or the process exits;
+// events published while the client's buffer is full are dropped by the
+// hub, never queued against the watch loop.
+func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
+	if s.Watch == nil {
+		http.Error(w, "no watch session in this process", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	events, cancel := s.Watch.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: iteration\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
 }

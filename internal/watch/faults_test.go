@@ -1,0 +1,323 @@
+package watch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/history"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// faultCfg is a small project so the per-(mode, failAt) sessions stay
+// fast; the write-point protocol is the same at any size.
+func faultCfg() workload.Config {
+	return workload.Config{Shape: workload.Chain, Units: 6, LinesPerUnit: 8,
+		FunsPerUnit: 2, FanIn: 1, LayerWidth: 1, Seed: 11}
+}
+
+// faultSession runs one watch session whose store, ledger, and polling
+// all go through the given fault-injecting FS. The heartbeat is
+// disabled so the write-point sequence of an iteration is deterministic
+// (a racing heartbeat tick would shift failAt targets).
+type faultSession struct {
+	t       *testing.T
+	base    string
+	projDir string
+	group   string
+	ffs     *faultfs.FS
+	events  <-chan Event
+	cancel  context.CancelFunc
+	done    chan error
+	release func()
+}
+
+func startFaultSession(t *testing.T) *faultSession {
+	t.Helper()
+	base := t.TempDir()
+	projDir := filepath.Join(base, "proj")
+	group, err := workload.Generate(faultCfg()).Materialize(projDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfs.New(core.OSFS{})
+	store, err := core.NewDirStoreFS(filepath.Join(base, "store"), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.HeartbeatEvery = -1
+	col := obs.New()
+	store.Obs = col
+	release, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := history.Open(filepath.Join(base, "hist"), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub()
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: core.Unlocked(store),
+		Stdout: os.Stdout, Obs: col}
+	w, err := New(Options{
+		FS: ffs, Manager: m, GroupPath: group, Col: col, Ledger: ledger,
+		Hub: hub, Poll: 5 * time.Millisecond, Debounce: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancelSub := hub.Subscribe()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx); close(done) }()
+	var once sync.Once
+	s := &faultSession{t: t, base: base, projDir: projDir, group: group,
+		ffs: ffs, events: events, cancel: cancel, done: done,
+		release: func() { once.Do(release) }}
+	t.Cleanup(func() {
+		cancel()
+		cancelSub()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+		}
+		ffs.Plan(faultfs.Crash, -1) // disarm so release can remove the lockfile
+		s.release()
+	})
+	return s
+}
+
+// wait returns the event with sequence seq, or ok=false on timeout — a
+// faulted iteration must still publish (detection and the build happen
+// before the fault can blind polling), but the suite tolerates silence
+// rather than hanging.
+func (s *faultSession) wait(seq int) (Event, bool) {
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case ev, ok := <-s.events:
+			if !ok {
+				return Event{}, false
+			}
+			if ev.Seq >= seq {
+				return ev, ev.Seq == seq
+			}
+		case <-deadline:
+			return Event{}, false
+		}
+	}
+}
+
+// edit applies one deterministic implementation edit to unit 0; gen
+// uniquifies the inserted helper.
+func (s *faultSession) edit(gen int) {
+	s.t.Helper()
+	path := filepath.Join(s.projDir, workload.UnitName(0))
+	src, err := os.ReadFile(path)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	out := workload.ApplyEdit(string(src), 0, workload.ImplEdit, gen)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		s.t.Fatal(err)
+	}
+}
+
+// assertRecoverable shuts the session down, then proves the damaged
+// store is fully correct for the next cold build: a fresh Manager over
+// the same store directory (temps swept, corruption quarantined) must
+// produce bins byte-identical to a build into a brand-new store, and
+// the ledger must still be readable.
+func (s *faultSession) assertRecoverable(label string) {
+	s.t.Helper()
+	s.cancel()
+	select {
+	case <-s.done:
+	case <-time.After(10 * time.Second):
+		s.t.Fatalf("%s: watcher did not stop", label)
+	}
+	s.ffs.Plan(faultfs.Crash, -1) // disarm: the "restarted process" sees a healthy disk
+	s.release()
+
+	g, err := core.LoadGroup(s.group)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	recovered, err := core.NewDirStore(filepath.Join(s.base, "store"))
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: recovered, Stdout: os.Stdout}
+	if _, err := m.Build(g.Files); err != nil {
+		s.t.Fatalf("%s: recovery build failed: %v", label, err)
+	}
+
+	freshDir := filepath.Join(s.base, "fresh")
+	fresh, err := core.NewDirStore(freshDir)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	mf := &core.Manager{Policy: core.PolicyCutoff, Store: fresh, Stdout: os.Stdout}
+	if _, err := mf.Build(g.Files); err != nil {
+		s.t.Fatalf("%s: fresh build failed: %v", label, err)
+	}
+	want := binFiles(s.t, freshDir)
+	got := binFiles(s.t, filepath.Join(s.base, "store"))
+	for name, wantData := range want {
+		if !bytes.Equal(got[name], wantData) {
+			s.t.Errorf("%s: %s differs between recovered and fresh store", label, name)
+		}
+	}
+
+	ledger, err := history.Open(filepath.Join(s.base, "hist"), nil)
+	if err != nil {
+		s.t.Fatalf("%s: reopening ledger: %v", label, err)
+	}
+	if _, _, err := ledger.ReadAll(); err != nil {
+		s.t.Errorf("%s: ledger unreadable after fault: %v", label, err)
+	}
+}
+
+// TestWatchIterationFaults enumerates every write point of one watch
+// iteration (bin saves plus the ledger append) under each fault mode:
+// whatever happens mid-iteration, the next cold build over the damaged
+// store must be fully correct and the ledger must stay readable.
+func TestWatchIterationFaults(t *testing.T) {
+	// Probe: count the write points of one clean iteration.
+	probe := startFaultSession(t)
+	if _, ok := probe.wait(0); !ok {
+		t.Fatal("probe: no initial build event")
+	}
+	probe.ffs.Plan(faultfs.Crash, -1) // reset the counter
+	probe.edit(1)
+	if _, ok := probe.wait(1); !ok {
+		t.Fatal("probe: no iteration event")
+	}
+	points := probe.ffs.WritePoints()
+	if points < 5 {
+		t.Fatalf("implausibly few write points in an iteration: %d", points)
+	}
+	t.Logf("one watch iteration has %d write points", points)
+
+	for _, mode := range []faultfs.Mode{faultfs.Crash, faultfs.Torn, faultfs.Flip, faultfs.NoSpace} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for failAt := 0; failAt < points; failAt++ {
+				s := startFaultSession(t)
+				if _, ok := s.wait(0); !ok {
+					t.Fatalf("failAt %d: no initial build", failAt)
+				}
+				s.ffs.Plan(mode, failAt)
+				s.edit(1)
+				ev, ok := s.wait(1)
+				if ok && ev.Outcome == OutcomeError && mode == faultfs.Flip {
+					t.Errorf("failAt %d: flip must be silent, got error %s", failAt, ev.Error)
+				}
+				s.assertRecoverable(fmt.Sprintf("%s@%d", mode, failAt))
+			}
+		})
+	}
+}
+
+// statFaultFS fails Stat on one path a fixed number of times — a
+// transient polling fault (EPERM blips, NFS hiccups) the loop must
+// absorb without losing the edit.
+type statFaultFS struct {
+	core.FS
+	path      string
+	remaining int
+}
+
+func (f *statFaultFS) Stat(path string) (os.FileInfo, error) {
+	if path == f.path && f.remaining > 0 {
+		f.remaining--
+		return nil, fmt.Errorf("statFaultFS: injected stat failure")
+	}
+	return f.FS.Stat(path)
+}
+
+// TestTransientPollErrors: stat failures during polling are counted and
+// retried; once the fault clears, the pending edit rebuilds correctly.
+func TestTransientPollErrors(t *testing.T) {
+	base := t.TempDir()
+	projDir := filepath.Join(base, "proj")
+	group, err := workload.Generate(faultCfg()).Materialize(projDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfs := &statFaultFS{FS: core.OSFS{},
+		path: filepath.Join(projDir, workload.UnitName(0)), remaining: 10}
+	store, err := core.NewDirStore(filepath.Join(base, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.New()
+	store.Obs = col
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: store, Stdout: os.Stdout, Obs: col}
+	hub := NewHub()
+	w, err := New(Options{
+		FS: sfs, Manager: m, GroupPath: group, Col: col, Hub: hub,
+		Poll: 5 * time.Millisecond, Debounce: 2 * time.Millisecond, MaxBuilds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancelSub := hub.Subscribe()
+	defer cancelSub()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	// waitSeq blocks for the event with the given sequence, failing fast
+	// instead of hanging if the watcher never publishes it.
+	waitSeq := func(seq int) Event {
+		t.Helper()
+		deadline := time.After(20 * time.Second)
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					t.Fatalf("event channel closed waiting for seq %d", seq)
+				}
+				if ev.Seq >= seq {
+					return ev
+				}
+			case <-deadline:
+				t.Fatalf("timeout waiting for watch event seq %d", seq)
+			}
+		}
+	}
+
+	// Wait for the initial build, then edit the stat-faulted unit.
+	waitSeq(0)
+	src, err := os.ReadFile(sfs.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := workload.ApplyEdit(string(src), 0, workload.ImplEdit, 1)
+	if err := os.WriteFile(sfs.path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := waitSeq(1)
+	if got.Outcome != OutcomeOK {
+		t.Fatalf("edit behind transient stat faults did not rebuild: %+v", got)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watcher did not stop at MaxBuilds")
+	}
+	if rep := w.Report(); rep.PollErrors == 0 {
+		t.Errorf("poll errors were not counted: %+v", rep)
+	}
+}

@@ -1,0 +1,57 @@
+package watch
+
+import "sync"
+
+// Hub fans watch events out to any number of subscribers — the /watch
+// SSE endpoint and the scripted-session tests. Delivery is best-effort:
+// each subscriber gets a buffered channel, and a subscriber that falls
+// behind loses events rather than stalling the watch loop (an SSE
+// client on a slow link must never add to edit→rebuild latency).
+//
+// Concurrency: all methods are safe for concurrent use and safe on a
+// nil *Hub (Publish is then a no-op), so the Watcher never guards.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[chan Event]struct{}
+}
+
+// subBuffer is each subscriber's channel depth; events beyond it are
+// dropped for that subscriber only.
+const subBuffer = 64
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{subs: map[chan Event]struct{}{}} }
+
+// Subscribe registers a new subscriber. The returned cancel function
+// unregisters it and closes the channel; it is idempotent.
+func (h *Hub) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, subBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, ch)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Publish delivers e to every subscriber that has buffer room.
+func (h *Hub) Publish(e Event) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default: // subscriber is behind; drop rather than block the loop
+		}
+	}
+}

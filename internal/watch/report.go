@@ -1,0 +1,65 @@
+package watch
+
+// ReportSchema identifies the machine-readable watch-session summary
+// emitted by `irm watch -report json`.
+const ReportSchema = "irm-watch/1"
+
+// LatencySummary is the edit→rebuild latency distribution of one
+// session, projected from the watch.latency_seconds histogram.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P90Ns  int64  `json:"p90_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
+// Report is the machine-readable summary of one watch session: how
+// much the loop worked (the watch.* counter deltas since the session
+// began) and how fast rebuilds landed.
+type Report struct {
+	Schema     string `json:"schema"`
+	Group      string `json:"group"`
+	Policy     string `json:"policy"`
+	Jobs       int    `json:"jobs"`
+	Iterations int64  `json:"iterations"` // builds run, initial included
+	Rebuilds   int64  `json:"rebuilds"`   // latency-measured iterations
+
+	FilesPolled  int64 `json:"files_polled"`
+	ChangedFiles int64 `json:"changed_files"`
+	Debounced    int64 `json:"debounced"`
+	PollErrors   int64 `json:"poll_errors"`
+	BuildErrors  int64 `json:"build_errors"`
+
+	Latency LatencySummary `json:"latency"`
+}
+
+// Report summarizes the session so far. It may be called while Run is
+// live (the collector is thread-safe) or after it returns.
+func (w *Watcher) Report() Report {
+	d := w.col.Since(w.before)
+	hist := w.col.Histogram(LatencyHist).Snapshot()
+	r := Report{
+		Schema:       ReportSchema,
+		Group:        w.opt.GroupPath,
+		Policy:       w.opt.Manager.Policy.String(),
+		Jobs:         w.opt.Manager.Jobs,
+		Iterations:   d["watch.iterations"],
+		Rebuilds:     int64(hist.Count),
+		FilesPolled:  d["watch.files_polled"],
+		ChangedFiles: d["watch.changed"],
+		Debounced:    d["watch.debounced"],
+		PollErrors:   d["watch.poll_errors"],
+		BuildErrors:  d["watch.build_errors"],
+		Latency: LatencySummary{
+			Count: hist.Count,
+			P50Ns: int64(hist.Quantile(0.50) * 1e9),
+			P90Ns: int64(hist.Quantile(0.90) * 1e9),
+			P99Ns: int64(hist.Quantile(0.99) * 1e9),
+		},
+	}
+	if hist.Count > 0 {
+		r.Latency.MeanNs = int64(hist.Sum / float64(hist.Count) * 1e9)
+	}
+	return r
+}

@@ -1,15 +1,23 @@
 // Command promcheck validates a Prometheus text-exposition scrape on
 // stdin: every line must be a HELP/TYPE comment or a well-formed
 // sample, every sample's metric name must have been announced by a
-// preceding HELP and TYPE, values must parse as floats, and no metric
-// may sample twice. CI's serve-smoke job pipes `curl /metrics` through
-// it so a malformed exposition (which a real Prometheus server would
-// drop silently, per-target) fails the build loudly instead.
+// preceding HELP and TYPE, values must parse as floats, and no series
+// may sample twice. Histogram families get the full treatment: their
+// `_bucket`/`_sum`/`_count` samples must belong to an announced
+// histogram, every `_bucket` must carry an `le` label, the `le` bounds
+// must be strictly increasing and end at `+Inf`, cumulative bucket
+// counts must be non-decreasing, and the `+Inf` bucket must equal
+// `_count`. CI's smoke jobs pipe `curl /metrics` through it so a
+// malformed exposition (which a real Prometheus server would drop
+// silently, per-target) fails the build loudly instead.
 //
 // Usage: curl -s localhost:PORT/metrics | promcheck
 //
 // With -require name (repeatable via comma list), the named metrics
 // must be present — the smoke test pins the families it cares about.
+// Names are matched without labels, so requiring
+// irm_watch_latency_seconds_bucket asserts the histogram exported at
+// least one bucket series.
 //
 // Concurrency: a single-goroutine command-line tool.
 package main
@@ -18,6 +26,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -27,7 +36,19 @@ import (
 var (
 	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9]+)?$`)
+	leRe     = regexp.MustCompile(`le="([^"]*)"`)
 )
+
+// histFamily accumulates one histogram's samples for the end-of-scrape
+// structural checks.
+type histFamily struct {
+	les      []float64 // bucket bounds, in exposition order
+	counts   []float64 // cumulative counts, in exposition order
+	sum      *float64
+	count    *float64
+	anySeen  bool
+	hasPlain bool // a labelless sample under the bare family name
+}
 
 func main() {
 	require := flag.String("require", "", "comma-separated metric names that must be present")
@@ -36,8 +57,10 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	announcedHelp := map[string]bool{}
-	announcedType := map[string]bool{}
+	announcedType := map[string]string{}
+	hists := map[string]*histFamily{}
 	seen := map[string]int{}
+	present := map[string]bool{} // sample names without labels
 	lineNo := 0
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "promcheck: line %d: %s\n", lineNo, fmt.Sprintf(format, args...))
@@ -69,7 +92,10 @@ func main() {
 					default:
 						fail("unknown TYPE %q for %s", f[3], f[2])
 					}
-					announcedType[f[2]] = true
+					announcedType[f[2]] = f[3]
+					if f[3] == "histogram" {
+						hists[f[2]] = &histFamily{}
+					}
 				}
 				continue
 			}
@@ -79,28 +105,108 @@ func main() {
 		if m == nil {
 			fail("not a valid sample: %q", line)
 		}
-		name := m[1]
-		if !announcedHelp[name] || !announcedType[name] {
-			fail("sample %s not announced by HELP and TYPE", name)
-		}
-		if v := m[3]; v != "NaN" && v != "+Inf" && v != "-Inf" {
-			if _, err := strconv.ParseFloat(v, 64); err != nil {
-				fail("bad value %q for %s", v, name)
+		name, labels, valStr := m[1], m[2], m[3]
+		var val float64
+		switch valStr {
+		case "NaN":
+			val = math.NaN()
+		case "+Inf":
+			val = math.Inf(1)
+		case "-Inf":
+			val = math.Inf(-1)
+		default:
+			var err error
+			if val, err = strconv.ParseFloat(valStr, 64); err != nil {
+				fail("bad value %q for %s", valStr, name)
 			}
 		}
-		key := name + m[2] // name + labels: a series may sample only once
+		// A histogram announces one family name; its samples arrive as
+		// name_bucket / name_sum / name_count.
+		family, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && hists[base] != nil {
+				family, suffix = base, s
+				break
+			}
+		}
+		if !announcedHelp[family] || announcedType[family] == "" {
+			fail("sample %s not announced by HELP and TYPE", name)
+		}
+		if h := hists[family]; h != nil {
+			h.anySeen = true
+			switch suffix {
+			case "_bucket":
+				lm := leRe.FindStringSubmatch(labels)
+				if lm == nil {
+					fail("histogram bucket %s without an le label", name)
+				}
+				le := math.Inf(1)
+				if lm[1] != "+Inf" {
+					var err error
+					if le, err = strconv.ParseFloat(lm[1], 64); err != nil {
+						fail("bad le %q on %s", lm[1], name)
+					}
+				}
+				h.les = append(h.les, le)
+				h.counts = append(h.counts, val)
+			case "_sum":
+				h.sum = &val
+			case "_count":
+				h.count = &val
+			default:
+				h.hasPlain = true
+			}
+		}
+		key := name + labels // name + labels: a series may sample only once
 		seen[key]++
 		if seen[key] > 1 {
 			fail("duplicate sample for %s", key)
 		}
+		present[name] = true
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "promcheck:", err)
 		os.Exit(1)
 	}
+	failf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "promcheck: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	for name, h := range hists {
+		if !h.anySeen {
+			continue // announced but empty: legal
+		}
+		if h.hasPlain {
+			failf("histogram %s has a bare sample; expected only _bucket/_sum/_count", name)
+		}
+		if len(h.les) == 0 {
+			failf("histogram %s has no _bucket series", name)
+		}
+		if h.sum == nil || h.count == nil {
+			failf("histogram %s is missing _sum or _count", name)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if !(h.les[i] > h.les[i-1]) {
+				failf("histogram %s: le bounds not strictly increasing (%g after %g)",
+					name, h.les[i], h.les[i-1])
+			}
+			if h.counts[i] < h.counts[i-1] {
+				failf("histogram %s: cumulative bucket counts decrease at le=%g",
+					name, h.les[i])
+			}
+		}
+		if !math.IsInf(h.les[len(h.les)-1], 1) {
+			failf("histogram %s: last bucket is not le=\"+Inf\"", name)
+		}
+		if h.counts[len(h.counts)-1] != *h.count {
+			failf("histogram %s: +Inf bucket (%g) != _count (%g)",
+				name, h.counts[len(h.counts)-1], *h.count)
+		}
+	}
 	var missing []string
 	for _, want := range strings.Split(*require, ",") {
-		if want = strings.TrimSpace(want); want != "" && seen[want] == 0 {
+		if want = strings.TrimSpace(want); want != "" && !present[want] {
 			missing = append(missing, want)
 		}
 	}
