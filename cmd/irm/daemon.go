@@ -1,0 +1,193 @@
+package main
+
+// `irm daemon`: the persistent compile service, and the client-mode
+// dispatch `irm build` uses to reach it. The daemon opens the store
+// once, holds its lock (with the heartbeat) for the whole lifetime,
+// keeps the process-wide EnvCache warm, and serves PROTOCOL.md's
+// irm-daemon/1 endpoints on a unix socket beside the store — plus,
+// with -addr, the same mux on TCP for scrapers. SIGTERM (or POST
+// /v1/drain) drains gracefully: admitted requests finish, the socket
+// is removed, the lock released.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/obs"
+)
+
+func cmdDaemon(args []string) {
+	fs := flag.NewFlagSet("daemon", flag.ExitOnError)
+	storeDir := fs.String("store", ".irm-store", "bin cache directory the daemon serves")
+	socketFlag := fs.String("socket", "", "unix socket path (default: .irm/daemon.sock beside the store)")
+	addr := fs.String("addr", "", "also serve the mux on this TCP address (for /metrics scrapers)")
+	jobs := fs.Int("j", 0, "default parallel build workers (0 = one per core)")
+	policy := fs.String("policy", "cutoff", "default recompilation policy: cutoff or timestamp")
+	queue := fs.Int("queue", daemon.DefaultMaxQueue, "admission queue bound (further requests get 503 queue_full)")
+	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
+	verbose := fs.Bool("v", false, "log one line per request and build")
+	fs.Parse(args)
+
+	pol := core.PolicyCutoff
+	switch *policy {
+	case "cutoff":
+	case "timestamp":
+		pol = core.PolicyTimestamp
+	default:
+		usage()
+	}
+
+	store, err := core.NewDirStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	col := obs.New()
+	store.Obs = col
+	// Hold the store lock for the daemon's whole lifetime; the
+	// heartbeat keeps the lockfile fresh through idle stretches, so a
+	// quiet daemon is never stale-stolen by a CLI build.
+	release, err := store.Lock()
+	if err != nil {
+		fatal(err)
+	}
+	defer release()
+
+	socket := daemon.ResolveSocket(*socketFlag, *storeDir)
+	if err := os.MkdirAll(filepath.Dir(socket), 0o755); err != nil {
+		fatal(err)
+	}
+	// A leftover socket file from a crashed daemon would make Listen
+	// fail. A *live* daemon also holds the store lock, so reaching this
+	// point means no live daemon owns the store — any existing socket
+	// file is stale and safe to remove.
+	if _, err := os.Stat(socket); err == nil {
+		os.Remove(socket)
+	}
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		fatal(err)
+	}
+
+	ledger := openLedger(*historyFlag, *storeDir)
+	opts := daemon.Options{
+		Store:    store,
+		StoreDir: *storeDir,
+		Col:      col,
+		Ledger:   ledger,
+		Policy:   pol,
+		Jobs:     *jobs,
+		MaxQueue: *queue,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	srv := daemon.New(opts)
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "irm: daemon listening on %s\n", socket)
+	go http.Serve(ln, srv.Handler())
+	if *addr != "" {
+		tln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "irm: listening on %s\n", tln.Addr())
+		go http.Serve(tln, srv.Handler())
+	}
+
+	// Run until SIGTERM/SIGINT, then drain: admission stops, admitted
+	// requests finish, and the store is left byte-identical to the
+	// same builds run sequentially. POST /v1/drain takes the same path
+	// (Drain is idempotent, so a signal after a drain request is fine).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "irm: daemon draining")
+	srv.Drain()
+	ln.Close()
+	os.Remove(socket)
+	st := srv.Status()
+	fmt.Fprintf(os.Stderr, "irm: daemon drained (%d requests, %d builds, %d coalesced)\n",
+		st.Requests, st.Builds, st.Coalesced)
+}
+
+// dialDaemon resolves the daemon socket for a store and probes it.
+// Returns nil when no live, protocol-compatible daemon answers —
+// callers fall back to the in-process build path.
+func dialDaemon(socketFlag, storeDir string) *daemon.Client {
+	socket := daemon.ResolveSocket(socketFlag, storeDir)
+	c := daemon.NewClient(socket)
+	if _, err := c.Probe(); err != nil {
+		return nil
+	}
+	return c
+}
+
+// buildViaDaemon dispatches one build to the daemon and renders the
+// streamed frames exactly like an in-process build would: program
+// output to stdout as it happens, explain records to stderr, and the
+// text or JSON summary from the terminal report frame.
+func buildViaDaemon(c *daemon.Client, groupPath, policy string, jobs int,
+	explain bool, report string) error {
+
+	abs, err := filepath.Abs(groupPath)
+	if err != nil {
+		return err
+	}
+	hostname, _ := os.Hostname()
+	var rep *obs.Report
+	err = c.Build(daemon.BuildRequest{
+		Group:   abs,
+		Policy:  policy,
+		Jobs:    jobs,
+		Explain: explain,
+		Client:  fmt.Sprintf("irm-build/%s/%d", hostname, os.Getpid()),
+	}, func(f daemon.Frame) error {
+		switch f.Type {
+		case daemon.FrameOutput:
+			os.Stdout.WriteString(f.Data)
+		case daemon.FrameExplain:
+			if explain && f.Explain != nil {
+				if err := obs.WriteExplainJSONL(os.Stderr, []obs.Explain{*f.Explain}); err != nil {
+					return err
+				}
+			}
+		case daemon.FrameReport:
+			rep = f.Report
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if rep == nil {
+		return fmt.Errorf("daemon stream carried no report")
+	}
+	if report == "json" {
+		writeJSONLine(os.Stdout, rep)
+		return nil
+	}
+	printReportSummary(rep)
+	return nil
+}
+
+// printReportSummary renders the classic two-line build summary from a
+// report object — the daemon client's equivalent of the local path's
+// Stats printf, byte-identical for the same build.
+func printReportSummary(rep *obs.Report) {
+	fmt.Printf("%s: %d units — parsed %d, compiled %d, loaded %d, cutoffs %d, corrupt %d, recovered %d\n",
+		rep.Name, rep.Units, rep.Parsed, rep.Compiled, rep.Loaded, rep.Cutoffs,
+		rep.Corrupt, rep.Recovered)
+	fmt.Printf("  compile %v, hash %v, pickle %v, load %v, exec %v\n",
+		time.Duration(rep.TimingsNs["compile"]), time.Duration(rep.TimingsNs["hash"]),
+		time.Duration(rep.TimingsNs["pickle"]), time.Duration(rep.TimingsNs["load"]),
+		time.Duration(rep.TimingsNs["exec"]))
+}

@@ -5,7 +5,9 @@
 //
 //	irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
 //	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
-//	          [-serve addr] [-history dir|off]
+//	          [-serve addr] [-history dir|off] [-daemon auto|off|require|socket]
+//	irm daemon [-store dir] [-socket path] [-addr host:port] [-j n] [-policy p]
+//	          [-queue n] [-history dir|off] [-v]
 //	irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
 //	          [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json] [-v]
 //	irm serve [group.cm] [-addr host:port] [-store dir] [-j n] [-history dir|off]
@@ -36,6 +38,16 @@
 // exposes /metrics in Prometheus text format, /debug/pprof, /healthz,
 // and /builds over HTTP while the process runs.
 //
+// `irm daemon` is the persistent multi-client compile service
+// (PROTOCOL.md): it opens the store once, holds the lock for its whole
+// lifetime, keeps the rehydration cache warm, and serves irm-daemon/1
+// requests on a unix socket beside the store. While a daemon runs,
+// `irm build` against the same store dispatches to it transparently
+// (requests for identical work coalesce into one build); without one,
+// builds run in-process exactly as before. -daemon controls dispatch:
+// auto (default), off, require, or an explicit socket path;
+// $IRM_DAEMON_SOCKET overrides the derived location.
+//
 // `irm watch` is the continuous rebuild loop: it polls the group's
 // sources for changes and rebuilds incrementally on every edit,
 // holding the store lock for the whole session. Each iteration lands
@@ -58,6 +70,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/depend"
 	"repro/internal/obs"
 	"repro/internal/obsserve"
@@ -70,6 +83,8 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		cmdBuild(os.Args[2:])
+	case "daemon":
+		cmdDaemon(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
 	case "watch":
@@ -130,7 +145,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
             [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
-            [-serve addr] [-history dir|off]
+            [-serve addr] [-history dir|off] [-daemon auto|off|require|socket]
+  irm daemon [-store dir] [-socket path] [-addr host:port] [-j n] [-policy p]
+            [-queue n] [-history dir|off] [-v]
   irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
             [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json] [-v]
   irm serve [group.cm] [-addr host:port] [-store dir] [-policy p] [-j n] [-history dir|off]
@@ -156,6 +173,7 @@ func cmdBuild(args []string) {
 	report := fs.String("report", "text", "build summary format: text or json")
 	serveAddr := fs.String("serve", "", "serve /metrics and /debug/pprof on this address while the build runs")
 	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
+	daemonMode := fs.String("daemon", "auto", "daemon dispatch: auto, off, require, or a socket path")
 	groupPath, rest := splitGroupArg(args)
 	fs.Parse(rest)
 	if groupPath == "" && fs.NArg() == 1 {
@@ -166,6 +184,32 @@ func cmdBuild(args []string) {
 	}
 	if *report != "text" && *report != "json" {
 		usage()
+	}
+	if *policy != "cutoff" && *policy != "timestamp" {
+		usage()
+	}
+
+	// Daemon dispatch: when a live daemon serves this store, hand it
+	// the build and render its streamed frames — same output, summary,
+	// and exit status as an in-process build. The local-only telemetry
+	// surfaces (-trace, -jsonl, -serve) force the in-process path, and
+	// any dial/probe failure falls back to it silently (unless
+	// -daemon require).
+	if *daemonMode != "off" && *tracePath == "" && *jsonlPath == "" && *serveAddr == "" {
+		socketFlag := ""
+		if *daemonMode != "auto" && *daemonMode != "require" {
+			socketFlag = *daemonMode
+		}
+		if c := dialDaemon(socketFlag, *storeDir); c != nil {
+			if err := buildViaDaemon(c, groupPath, *policy, *jobs, *explain, *report); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if *daemonMode == "require" {
+			fatal(fmt.Errorf("no live daemon for store %s (socket %s)",
+				*storeDir, daemon.ResolveSocket(socketFlag, *storeDir)))
+		}
 	}
 
 	group, err := core.LoadGroup(groupPath)

@@ -7,6 +7,12 @@
 // Compilation runs on the parallel DAG scheduler shared with irm and
 // smlrun: -j sets the worker count (0 = one per core), and the bin
 // files written are identical whatever -j (DESIGN.md §4e).
+//
+// When an irm daemon is reachable — $IRM_DAEMON_SOCKET is set, or
+// -daemon names a socket — smlc dispatches the sources inline over
+// POST /v1/compile (PROTOCOL.md) and writes the returned bin files,
+// which are byte-identical to an in-process run; otherwise it compiles
+// in-process as before. -daemon off disables dispatch.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/obs"
 )
 
@@ -53,9 +60,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print interfaces and imports")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	report := flag.String("report", "", "with 'json', write a machine-readable summary line to stderr")
+	daemonMode := flag.String("daemon", "auto", "daemon dispatch: auto ($IRM_DAEMON_SOCKET), off, or a socket path")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-j n] [-v] [-trace out.json] [-report json] file.sml ...")
+		fmt.Fprintln(os.Stderr, "usage: smlc [-d dir] [-j n] [-v] [-trace out.json] [-report json] [-daemon auto|off|socket] file.sml ...")
 		os.Exit(2)
 	}
 	if *report != "" && *report != "json" {
@@ -69,6 +77,22 @@ func main() {
 			fatal(err)
 		}
 		files = append(files, core.File{Name: filepath.Base(path), Source: string(src)})
+	}
+
+	// Daemon dispatch: with a reachable daemon socket — named by
+	// -daemon or $IRM_DAEMON_SOCKET — compile the sources inline over
+	// /v1/compile. smlc has no store to derive a socket from, so
+	// "auto" means the environment variable only. The local-only
+	// telemetry surfaces (-trace, -report) force the in-process path;
+	// any probe failure falls back to it silently.
+	if *daemonMode != "off" && *tracePath == "" && *report == "" {
+		socket := *daemonMode
+		if socket == "auto" {
+			socket = os.Getenv(daemon.SocketEnv)
+		}
+		if socket != "" && compileViaDaemon(socket, files, *outDir, *jobs, *verbose) {
+			return
+		}
 	}
 
 	col := obs.New()
@@ -131,6 +155,42 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, string(data))
 	}
+}
+
+// compileViaDaemon sends the sources to the daemon's /v1/compile and
+// writes the returned bin files, printing the same per-unit lines as
+// the in-process path. Returns false (caller compiles in-process) when
+// no live daemon answers; daemon-side compile failures are fatal, like
+// their local equivalents.
+func compileViaDaemon(socket string, files []core.File, outDir string, jobs int, verbose bool) bool {
+	client := daemon.NewClient(socket)
+	if _, err := client.Probe(); err != nil {
+		return false
+	}
+	req := daemon.CompileRequest{Jobs: jobs, Client: fmt.Sprintf("smlc/%d", os.Getpid())}
+	for _, f := range files {
+		req.Units = append(req.Units, daemon.SourceUnit{Name: f.Name, Source: f.Source})
+	}
+	resp, err := client.Compile(req)
+	if err != nil {
+		fatal(err)
+	}
+	for _, u := range resp.Units {
+		path := filepath.Join(outDir, strings.TrimSuffix(u.Name, ".sml")+".bin")
+		if err := os.WriteFile(path, u.Bin, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: interface %s -> %s\n", u.Name, u.PidShort, path)
+		if verbose {
+			for k, im := range u.Imports {
+				fmt.Printf("  import[%d] %s\n", k, im)
+			}
+			for _, w := range u.Warnings {
+				fmt.Printf("  warning: %s\n", w)
+			}
+		}
+	}
+	return true
 }
 
 func fatal(err error) {

@@ -1,0 +1,199 @@
+package daemon
+
+// Client-side dispatch: irm build and smlc use this to hand work to a
+// running daemon instead of building in-process. Detection is
+// deliberately cheap and failure-tolerant — Probe stats the socket and
+// performs one status round-trip, and every caller falls back to the
+// in-process path when it fails, so a stale socket file or a
+// mid-restart daemon never breaks a build.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Client speaks irm-daemon/1 to a daemon over its unix socket.
+type Client struct {
+	socket string
+	http   *http.Client
+}
+
+// NewClient returns a client for the daemon at socket. No connection
+// is made until the first request; use Probe to test reachability.
+func NewClient(socket string) *Client {
+	return &Client{
+		socket: socket,
+		http: &http.Client{
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "unix", socket)
+				},
+			},
+		},
+	}
+}
+
+// Probe reports whether a live, protocol-compatible daemon answers on
+// the socket: the file must exist, accept a connection, and return a
+// status whose schema matches ours. A short timeout keeps the
+// fall-back path fast when the socket is stale.
+func (c *Client) Probe() (*Status, error) {
+	if _, err := os.Stat(c.socket); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	st, err := c.status(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if st.Schema != Schema {
+		return nil, fmt.Errorf("daemon speaks %s, client speaks %s", st.Schema, Schema)
+	}
+	return st, nil
+}
+
+// Status fetches GET /v1/status.
+func (c *Client) Status() (*Status, error) {
+	return c.status(context.Background())
+}
+
+func (c *Client) status(ctx context.Context) (*Status, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://irm-daemon/v1/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Build posts a build request and invokes onFrame for every NDJSON
+// frame of the response, in order. It returns an error for transport
+// failures, protocol violations, and daemon-side rejections (as a
+// *RemoteError); a build that itself failed arrives as a terminal
+// error frame AND is returned as a *RemoteError with code
+// build_failed, so callers can treat Build's error as authoritative.
+func (c *Client) Build(req BuildRequest, onFrame func(Frame) error) error {
+	req.Schema = Schema
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post("http://irm-daemon/v1/build", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	sawTerminal := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("daemon: bad frame: %v", err)
+		}
+		if f.Type == FrameHello && f.Schema != Schema {
+			return fmt.Errorf("daemon speaks %s, client speaks %s", f.Schema, Schema)
+		}
+		if onFrame != nil {
+			if err := onFrame(f); err != nil {
+				return err
+			}
+		}
+		switch f.Type {
+		case FrameReport:
+			sawTerminal = true
+		case FrameError:
+			return &RemoteError{Code: f.Code, Message: f.Message}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawTerminal {
+		return fmt.Errorf("daemon: stream ended without a report frame")
+	}
+	return nil
+}
+
+// Compile posts inline sources to /v1/compile.
+func (c *Client) Compile(req CompileRequest) (*CompileResponse, error) {
+	req.Schema = Schema
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post("http://irm-daemon/v1/compile", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var out CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if out.Schema != Schema {
+		return nil, fmt.Errorf("daemon speaks %s, client speaks %s", out.Schema, Schema)
+	}
+	return &out, nil
+}
+
+// Drain posts /v1/drain, asking the daemon to finish admitted work and
+// exit.
+func (c *Client) Drain() error {
+	resp, err := c.http.Post("http://irm-daemon/v1/drain", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// remoteError decodes a non-2xx response's JSON error body, falling
+// back to the raw text for non-protocol responses.
+func remoteError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var body ErrorBody
+	if err := json.Unmarshal(data, &body); err == nil && body.Error.Code != "" {
+		return &RemoteError{Code: body.Error.Code, Message: body.Error.Message}
+	}
+	return &RemoteError{Code: CodeInternal,
+		Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, string(data))}
+}
+

@@ -1,0 +1,613 @@
+package daemon
+
+// Unit tests for the daemon's three load-bearing properties: request
+// coalescing (N clients, one compile — the acceptance criterion),
+// graceful drain leaving the store byte-identical to sequential
+// builds, and the inline compile endpoint matching in-process smlc
+// output byte for byte. Timing never decides an assertion: the
+// BeforeWork gate holds the worker between dequeue and execute, so
+// every coalescing and drain window is entered deliberately.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// testDaemon is a live server on a real unix socket in a temp dir.
+type testDaemon struct {
+	srv      *Server
+	client   *Client
+	col      *obs.Collector
+	store    *core.DirStore
+	storeDir string
+	socket   string
+	release  func() // store lock release
+}
+
+// startDaemon assembles a locked store, a server, and a unix-socket
+// listener, mirroring what `irm daemon` wires up.
+func startDaemon(t *testing.T, tweak func(*Options)) *testDaemon {
+	t.Helper()
+	root := t.TempDir()
+	storeDir := filepath.Join(root, "store")
+	store, err := core.NewDirStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.HeartbeatEvery = -1 // keep test write points deterministic
+	col := obs.New()
+	store.Obs = col
+	release, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relOnce sync.Once
+	releaseOnce := func() { relOnce.Do(release) }
+	t.Cleanup(releaseOnce)
+	opts := Options{Store: store, StoreDir: storeDir, Col: col, Policy: core.PolicyCutoff, Jobs: 2}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	srv := New(opts)
+	srv.Start()
+	socket := filepath.Join(root, "d.sock")
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go http.Serve(ln, srv.Handler())
+	return &testDaemon{srv: srv, client: NewClient(socket), col: col,
+		store: store, storeDir: storeDir, socket: socket, release: releaseOnce}
+}
+
+// writeGroup materializes units plus a group file listing them, and
+// returns the group path.
+func writeGroup(t *testing.T, dir string, units [][2]string) string {
+	t.Helper()
+	var list strings.Builder
+	for _, u := range units {
+		if err := os.WriteFile(filepath.Join(dir, u[0]), []byte(u[1]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		list.WriteString(u[0] + "\n")
+	}
+	group := filepath.Join(dir, "group.cm")
+	if err := os.WriteFile(group, []byte(list.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return group
+}
+
+// threeUnits is the standard fixture: a diamond-free chain whose main
+// unit prints, so output streaming is exercised too.
+func threeUnits() [][2]string {
+	return [][2]string{
+		{"a.sml", "structure A = struct val one = 1 end\n"},
+		{"b.sml", "structure B = struct val two = A.one + A.one end\n"},
+		{"main.sml", `val _ = print (Int.toString (B.two + 40) ^ "\n")` + "\n"},
+	}
+}
+
+// buildStream is everything one client saw on a /v1/build stream.
+type buildStream struct {
+	hello    Frame
+	output   strings.Builder
+	explains []obs.Explain
+	report   *obs.Report
+	err      error
+}
+
+func collectBuild(c *Client, req BuildRequest) *buildStream {
+	st := &buildStream{}
+	st.err = c.Build(req, func(f Frame) error {
+		switch f.Type {
+		case FrameHello:
+			st.hello = f
+		case FrameOutput:
+			st.output.WriteString(f.Data)
+		case FrameExplain:
+			if f.Explain != nil {
+				st.explains = append(st.explains, *f.Explain)
+			}
+		case FrameReport:
+			st.report = f.Report
+		}
+		return nil
+	})
+	return st
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCoalescingEightClientsOneCompile is the acceptance criterion: 8
+// concurrent clients requesting the same units at the same pids cost
+// exactly one build. The worker is gated until all 8 are admitted, so
+// the coalescing window is certain, not probabilistic.
+func TestCoalescingEightClientsOneCompile(t *testing.T) {
+	gate := make(chan struct{})
+	d := startDaemon(t, func(o *Options) {
+		o.BeforeWork = func() { <-gate }
+	})
+	group := writeGroup(t, t.TempDir(), threeUnits())
+
+	const clients = 8
+	streams := make([]*buildStream, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			streams[i] = collectBuild(d.client, BuildRequest{
+				Group: group, Explain: true, Jobs: 1 + i%4, // mixed -j: outputs must not care
+				Client: fmt.Sprintf("test-client-%d", i),
+			})
+		}(i)
+	}
+	waitFor(t, "8 admitted requests, 7 coalesced", func() bool {
+		st := d.srv.Status()
+		return st.Requests == clients && st.Coalesced == clients-1
+	})
+	close(gate)
+	wg.Wait()
+
+	leaders := 0
+	sessions := map[int64]bool{}
+	for i, st := range streams {
+		if st.err != nil {
+			t.Fatalf("client %d: %v", i, st.err)
+		}
+		if !st.hello.Coalesced {
+			leaders++
+		}
+		if sessions[st.hello.Session] {
+			t.Fatalf("client %d: session %d reused", i, st.hello.Session)
+		}
+		sessions[st.hello.Session] = true
+		if st.report == nil || st.report.Units != 3 || st.report.Compiled != 3 {
+			t.Fatalf("client %d: report %+v, want 3 units all compiled", i, st.report)
+		}
+		// The explain records are the proof of "exactly one compile":
+		// every client sees the same three compiled-action records.
+		if len(st.explains) != 3 {
+			t.Fatalf("client %d: %d explain records, want 3", i, len(st.explains))
+		}
+		for _, e := range st.explains {
+			if e.Action != obs.ActionCompiled {
+				t.Fatalf("client %d: unit %s action %q, want compiled", i, e.Unit, e.Action)
+			}
+		}
+		if got, want := st.output.String(), streams[0].output.String(); got != want {
+			t.Fatalf("client %d output %q != client 0 output %q", i, got, want)
+		}
+		if !strings.Contains(st.output.String(), "42") {
+			t.Fatalf("client %d: program output %q missing 42", i, st.output.String())
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+	counters := d.col.Counters()
+	if counters["daemon.builds"] != 1 {
+		t.Fatalf("daemon.builds = %d, want 1 (one executed build for 8 requests)", counters["daemon.builds"])
+	}
+	if counters["daemon.coalesced"] != clients-1 {
+		t.Fatalf("daemon.coalesced = %d, want %d", counters["daemon.coalesced"], clients-1)
+	}
+	if counters["daemon.requests"] != clients {
+		t.Fatalf("daemon.requests = %d, want %d", counters["daemon.requests"], clients)
+	}
+}
+
+// TestQueueFullRejects fills the bounded queue (cap 1) behind a gated
+// worker and checks the third distinct build gets 503 queue_full while
+// the first two complete once the gate opens.
+func TestQueueFullRejects(t *testing.T) {
+	gate := make(chan struct{})
+	d := startDaemon(t, func(o *Options) {
+		o.MaxQueue = 1
+		o.BeforeWork = func() { <-gate }
+	})
+	groups := make([]string, 3)
+	for i := range groups {
+		groups[i] = writeGroup(t, t.TempDir(), [][2]string{
+			{"u.sml", fmt.Sprintf("structure U = struct val n = %d end\n", i)},
+		})
+	}
+
+	results := make([]*buildStream, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = collectBuild(d.client, BuildRequest{Group: groups[i]})
+		}(i)
+		if i == 0 {
+			// The first must be dequeued (running) before the second is
+			// admitted, so the second occupies the whole queue.
+			waitFor(t, "first build running", func() bool { return d.srv.Status().Inflight == 1 })
+		}
+	}
+	waitFor(t, "queue full", func() bool { return d.srv.Status().Queued == 1 })
+
+	st := collectBuild(d.client, BuildRequest{Group: groups[2]})
+	re, ok := st.err.(*RemoteError)
+	if !ok || re.Code != CodeQueueFull {
+		t.Fatalf("third build error = %v, want RemoteError queue_full", st.err)
+	}
+	close(gate)
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil || r.report == nil {
+			t.Fatalf("build %d: err %v report %v", i, r.err, r.report)
+		}
+	}
+	if n := d.col.Counters()["daemon.queue_full"]; n != 1 {
+		t.Fatalf("daemon.queue_full = %d, want 1", n)
+	}
+}
+
+// TestDrainMidBuild opens the drain window while a build is admitted
+// and gated: drain must reject new work with 503 draining, finish the
+// admitted build, and leave the store byte-identical to a cold
+// sequential build of the same group — the determinism half of the
+// acceptance criteria.
+func TestDrainMidBuild(t *testing.T) {
+	gate := make(chan struct{})
+	d := startDaemon(t, func(o *Options) {
+		o.BeforeWork = func() { <-gate }
+	})
+	units := threeUnits()
+	group := writeGroup(t, t.TempDir(), units)
+
+	var inflight *buildStream
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inflight = collectBuild(d.client, BuildRequest{Group: group})
+	}()
+	waitFor(t, "build running", func() bool { return d.srv.Status().Inflight == 1 })
+
+	if err := d.client.Drain(); err != nil {
+		t.Fatalf("drain request: %v", err)
+	}
+	waitFor(t, "draining status", func() bool { return d.srv.Status().Draining })
+
+	st := collectBuild(d.client, BuildRequest{Group: group})
+	re, ok := st.err.(*RemoteError)
+	if !ok || re.Code != CodeDraining {
+		t.Fatalf("post-drain build error = %v, want RemoteError draining", st.err)
+	}
+
+	close(gate)
+	drained := make(chan struct{})
+	go func() { d.srv.Drain(); close(drained) }() // idempotent; blocks until worker exits
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	wg.Wait()
+	if inflight.err != nil || inflight.report == nil || inflight.report.Compiled != 3 {
+		t.Fatalf("admitted build after drain: err %v report %+v", inflight.err, inflight.report)
+	}
+	if n := d.col.Counters()["daemon.drain_rejects"]; n != 1 {
+		t.Fatalf("daemon.drain_rejects = %d, want 1", n)
+	}
+
+	// Store equality: a cold -j1 build of the same sources into a fresh
+	// store must produce byte-identical entries.
+	d.release()
+	coldDir := filepath.Join(t.TempDir(), "cold-store")
+	coldStore, err := core.NewDirStore(coldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []core.File
+	for _, u := range units {
+		files = append(files, core.File{Name: u[0], Source: u[1]})
+	}
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: coldStore,
+		Stdout: io.Discard, Obs: obs.New(), Jobs: 1}
+	if _, err := m.Build(files); err != nil {
+		t.Fatal(err)
+	}
+	compareStores(t, d.storeDir, coldDir)
+}
+
+// compareStores asserts two store directories hold identical entries
+// (same file set, same bytes), ignoring the advisory lockfile.
+func compareStores(t *testing.T, a, b string) {
+	t.Helper()
+	read := func(dir string) map[string][]byte {
+		out := map[string][]byte{}
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			rel, _ := filepath.Rel(dir, path)
+			if filepath.Base(rel) == ".irm.lock" {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			out[rel] = data
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	got, want := read(a), read(b)
+	if len(got) != len(want) {
+		t.Fatalf("store %s has %d entries, %s has %d", a, len(got), b, len(want))
+	}
+	for name, data := range want {
+		if !bytes.Equal(got[name], data) {
+			t.Fatalf("store entry %s differs between daemon and cold build", name)
+		}
+	}
+}
+
+// TestCompileEndpointMatchesLocal checks /v1/compile returns bins
+// byte-identical to an in-process compile of the same sources, in
+// request order, and persists nothing into the daemon's store.
+func TestCompileEndpointMatchesLocal(t *testing.T) {
+	d := startDaemon(t, nil)
+	units := []SourceUnit{
+		{Name: "main.sml", Source: "structure M = struct val x = L.n + 1 end\n"},
+		{Name: "lib.sml", Source: "structure L = struct val n = 41 end\n"},
+	}
+	resp, err := d.client.Compile(CompileRequest{Units: units, Client: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Units) != 2 || resp.Units[0].Name != "main.sml" || resp.Units[1].Name != "lib.sml" {
+		t.Fatalf("units out of request order: %+v", resp.Units)
+	}
+
+	// Local reference compile with the same capture-store semantics.
+	cap := &captureStore{bins: map[string][]byte{}}
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: cap,
+		Stdout: io.Discard, Obs: obs.New(), Jobs: 1}
+	session, err := m.Build([]core.File{
+		{Name: "main.sml", Source: units[0].Source},
+		{Name: "lib.sml", Source: units[1].Source},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := map[string]string{}
+	for _, u := range session.Units {
+		pids[u.Name] = u.StatPid.String()
+	}
+	for _, u := range resp.Units {
+		if len(u.Bin) == 0 {
+			t.Fatalf("%s: empty bin", u.Name)
+		}
+		if !bytes.Equal(u.Bin, cap.bins[u.Name]) {
+			t.Fatalf("%s: daemon bin differs from local compile", u.Name)
+		}
+		if u.Pid != pids[u.Name] {
+			t.Fatalf("%s: pid %s, local %s", u.Name, u.Pid, pids[u.Name])
+		}
+		if u.PidShort != u.Pid[:len(u.PidShort)] {
+			t.Fatalf("%s: pid_short %q is not a prefix of %q", u.Name, u.PidShort, u.Pid)
+		}
+	}
+	if resp.Report.Compiled != 2 {
+		t.Fatalf("report.compiled = %d, want 2", resp.Report.Compiled)
+	}
+
+	// Nothing persists: the daemon's store gained no entries.
+	entries, err := os.ReadDir(d.storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".bin") {
+			t.Fatalf("compile persisted %s into the daemon store", e.Name())
+		}
+	}
+	if n := d.col.Counters()["daemon.compiles"]; n != 1 {
+		t.Fatalf("daemon.compiles = %d, want 1", n)
+	}
+}
+
+// TestSessionIsolation runs two different programs back to back and
+// checks neither's output or session leaks into the other's stream.
+func TestSessionIsolation(t *testing.T) {
+	d := startDaemon(t, nil)
+	alpha := writeGroup(t, t.TempDir(), [][2]string{
+		{"p.sml", `val _ = print "alpha\n"` + "\n"},
+	})
+	beta := writeGroup(t, t.TempDir(), [][2]string{
+		{"p.sml", `val _ = print "beta\n"` + "\n"},
+	})
+	a := collectBuild(d.client, BuildRequest{Group: alpha})
+	b := collectBuild(d.client, BuildRequest{Group: beta})
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errs: %v / %v", a.err, b.err)
+	}
+	if a.hello.Session == b.hello.Session {
+		t.Fatalf("both builds got session %d", a.hello.Session)
+	}
+	if out := a.output.String(); out != "alpha\n" {
+		t.Fatalf("alpha output %q", out)
+	}
+	if out := b.output.String(); out != "beta\n" {
+		t.Fatalf("beta output %q (alpha leaked?)", out)
+	}
+}
+
+// TestWarmCacheAcrossClients: a second client's identical build is
+// answered from the daemon's warm store and EnvCache — everything
+// loads, nothing compiles.
+func TestWarmCacheAcrossClients(t *testing.T) {
+	d := startDaemon(t, nil)
+	group := writeGroup(t, t.TempDir(), threeUnits())
+	first := collectBuild(d.client, BuildRequest{Group: group, Client: "one"})
+	if first.err != nil || first.report.Compiled != 3 {
+		t.Fatalf("cold build: err %v report %+v", first.err, first.report)
+	}
+	second := collectBuild(d.client, BuildRequest{Group: group, Client: "two"})
+	if second.err != nil {
+		t.Fatal(second.err)
+	}
+	if second.report.Compiled != 0 || second.report.Loaded != 3 {
+		t.Fatalf("warm build: %+v, want 0 compiled / 3 loaded", second.report)
+	}
+}
+
+// TestSchemaAndErrorBodies drives the rejection paths through a plain
+// HTTP client: missing schema (400 bad_request), wrong version (409
+// version_mismatch), missing group (404 not_found).
+func TestSchemaAndErrorBodies(t *testing.T) {
+	d := startDaemon(t, nil)
+	ts := httptest.NewServer(d.srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, ErrorBody) {
+		resp, err := http.Post(ts.URL+"/v1/build", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb ErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, eb
+	}
+	if code, eb := post(`{"group":"x.cm"}`); code != 400 || eb.Error.Code != CodeBadRequest {
+		t.Fatalf("missing schema: %d %+v", code, eb)
+	}
+	if code, eb := post(`{"schema":"irm-daemon/99","group":"x.cm"}`); code != 409 || eb.Error.Code != CodeVersionMismatch {
+		t.Fatalf("wrong version: %d %+v", code, eb)
+	}
+	if code, eb := post(`{"schema":"` + Schema + `","group":"/does/not/exist.cm"}`); code != 404 || eb.Error.Code != CodeNotFound {
+		t.Fatalf("missing group: %d %+v", code, eb)
+	}
+	if code, eb := post(`{"schema":"` + Schema + `","group":"x.cm","policy":"vibes"}`); code != 400 || eb.Error.Code != CodeBadRequest {
+		t.Fatalf("bad policy: %d %+v", code, eb)
+	}
+
+	// The obsserve fallback is mounted: /metrics answers with the
+	// daemon counter families even before any build.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "irm_daemon_requests") {
+		t.Fatalf("/metrics missing irm_daemon_requests:\n%s", body)
+	}
+}
+
+// TestBuildFailureStreamsErrorFrame: a group with a type error ends the
+// stream in a terminal error frame with code build_failed, and the
+// client surfaces it as a RemoteError.
+func TestBuildFailureStreamsErrorFrame(t *testing.T) {
+	d := startDaemon(t, nil)
+	group := writeGroup(t, t.TempDir(), [][2]string{
+		{"bad.sml", "structure X = struct val n = NoSuch.thing end\n"},
+	})
+	st := collectBuild(d.client, BuildRequest{Group: group})
+	re, ok := st.err.(*RemoteError)
+	if !ok || re.Code != CodeBuildFailed {
+		t.Fatalf("error = %v, want RemoteError build_failed", st.err)
+	}
+	if st.report != nil {
+		t.Fatal("failed build must not carry a report frame")
+	}
+	// The daemon survives: the next good build works.
+	good := writeGroup(t, t.TempDir(), threeUnits())
+	if st := collectBuild(d.client, BuildRequest{Group: good}); st.err != nil {
+		t.Fatalf("daemon did not survive a failed build: %v", st.err)
+	}
+}
+
+// TestProbeFailsOnDeadSocket: Probe must fail fast on a missing or
+// stale socket file so CLI fallback stays cheap.
+func TestProbeFailsOnDeadSocket(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "dead.sock")
+	if _, err := NewClient(sock).Probe(); err == nil {
+		t.Fatal("probe of a missing socket succeeded")
+	}
+	// A socket file nothing listens on (stale from a crash).
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // removes listener; file may linger on some platforms
+	os.WriteFile(sock, nil, 0o644)
+	if _, err := NewClient(sock).Probe(); err == nil {
+		t.Fatal("probe of a stale socket file succeeded")
+	}
+}
+
+// TestResolveSocket checks the documented precedence: flag, then
+// $IRM_DAEMON_SOCKET, then the store-derived default.
+func TestResolveSocket(t *testing.T) {
+	t.Setenv(SocketEnv, "")
+	if got := ResolveSocket("", "/work/.irm-store"); got != filepath.FromSlash("/work/.irm/daemon.sock") {
+		t.Fatalf("derived socket = %s", got)
+	}
+	t.Setenv(SocketEnv, "/env.sock")
+	if got := ResolveSocket("", "/work/.irm-store"); got != "/env.sock" {
+		t.Fatalf("env socket = %s", got)
+	}
+	if got := ResolveSocket("/flag.sock", "/work/.irm-store"); got != "/flag.sock" {
+		t.Fatalf("flag socket = %s", got)
+	}
+}
+
+// TestFingerprintSemantics: order-insensitive over units, sensitive to
+// source, name, policy, and kind, insensitive to nothing else.
+func TestFingerprintSemantics(t *testing.T) {
+	u1 := SourceUnit{Name: "a.sml", Source: "structure A = struct end"}
+	u2 := SourceUnit{Name: "b.sml", Source: "structure B = struct end"}
+	base := fingerprint("build", "cutoff", []SourceUnit{u1, u2})
+	if fingerprint("build", "cutoff", []SourceUnit{u2, u1}) != base {
+		t.Fatal("fingerprint is order-sensitive")
+	}
+	if fingerprint("build", "timestamp", []SourceUnit{u1, u2}) == base {
+		t.Fatal("fingerprint ignores policy")
+	}
+	if fingerprint("compile", "cutoff", []SourceUnit{u1, u2}) == base {
+		t.Fatal("fingerprint ignores kind")
+	}
+	edited := SourceUnit{Name: "a.sml", Source: "structure A = struct val x = 1 end"}
+	if fingerprint("build", "cutoff", []SourceUnit{edited, u2}) == base {
+		t.Fatal("fingerprint ignores source edits")
+	}
+}

@@ -1,0 +1,97 @@
+package daemon
+
+// Faultfs pass over the daemon's store write points: the daemon must
+// inherit the CLI build path's storage robustness — a full disk during
+// a daemon build degrades it to uncached (save errors reported, build
+// still correct), and the next build on a healed disk repopulates the
+// store to the same bytes a cold build writes.
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/obs"
+)
+
+func TestDaemonBuildSurvivesFullDisk(t *testing.T) {
+	root := t.TempDir()
+	storeDir := filepath.Join(root, "store")
+	ffs := faultfs.New(core.OSFS{})
+	store, err := core.NewDirStoreFS(storeDir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.HeartbeatEvery = -1
+	col := obs.New()
+	store.Obs = col
+	release, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relOnce sync.Once
+	releaseOnce := func() { relOnce.Do(release) }
+	defer releaseOnce()
+
+	srv := New(Options{Store: store, StoreDir: storeDir, Col: col, Policy: core.PolicyCutoff})
+	srv.Start()
+	socket := filepath.Join(root, "d.sock")
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, srv.Handler())
+	client := NewClient(socket)
+
+	group := writeGroup(t, t.TempDir(), threeUnits())
+
+	// Disk fills at the first store write point of the build: every
+	// save fails, the build itself must still succeed and report the
+	// failures.
+	ffs.Plan(faultfs.NoSpace, 0)
+	st := collectBuild(client, BuildRequest{Group: group})
+	if st.err != nil {
+		t.Fatalf("build on a full disk failed outright: %v", st.err)
+	}
+	if st.report.SaveErrors == 0 {
+		t.Fatalf("report %+v: expected save errors on a full disk", st.report)
+	}
+	if st.report.Compiled != 3 {
+		t.Fatalf("report %+v: all units should still compile", st.report)
+	}
+
+	// Disk heals: the next build recompiles what never got cached and
+	// persists cleanly.
+	ffs.Plan(faultfs.NoSpace, -1)
+	st = collectBuild(client, BuildRequest{Group: group})
+	if st.err != nil {
+		t.Fatal(st.err)
+	}
+	if st.report.SaveErrors != 0 {
+		t.Fatalf("healed disk still reports %d save errors", st.report.SaveErrors)
+	}
+
+	// The healed store matches a cold build byte for byte.
+	releaseOnce()
+	coldDir := filepath.Join(t.TempDir(), "cold")
+	coldStore, err := core.NewDirStore(coldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []core.File
+	for _, u := range threeUnits() {
+		files = append(files, core.File{Name: u[0], Source: u[1]})
+	}
+	m := &core.Manager{Policy: core.PolicyCutoff, Store: coldStore,
+		Stdout: io.Discard, Obs: obs.New(), Jobs: 1}
+	if _, err := m.Build(files); err != nil {
+		t.Fatal(err)
+	}
+	compareStores(t, storeDir, coldDir)
+}

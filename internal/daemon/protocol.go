@@ -1,0 +1,215 @@
+package daemon
+
+// The wire protocol (schema irm-daemon/1). Every type here is part of
+// the documented interface in PROTOCOL.md — a field added or renamed
+// without a matching PROTOCOL.md edit is a compatibility break, and
+// the docscheck protocol gate will catch at least the endpoint table
+// drifting. Versioning rule: additive changes (new optional request
+// fields, new frame types a client may ignore, new Status fields) stay
+// within /1; anything a v1 client would misparse bumps the schema and
+// the /v1/ path prefix together.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/pid"
+)
+
+// Schema identifies the daemon wire protocol. Clients send it in every
+// request and verify it in every hello frame and status response.
+const Schema = "irm-daemon/1"
+
+// SocketEnv, when set, overrides the derived socket location for every
+// client (irm build, smlc) — the hook CI and multi-store setups use.
+const SocketEnv = "IRM_DAEMON_SOCKET"
+
+// DefaultSocket derives the daemon's unix-socket path from the store
+// directory, mirroring the history ledger's "beside the store"
+// convention: a sibling .irm/daemon.sock. Daemon and clients agree on
+// the location by construction, so `irm build -store dir` finds the
+// daemon serving that store without configuration.
+func DefaultSocket(storeDir string) string {
+	return filepath.Join(filepath.Dir(storeDir), ".irm", "daemon.sock")
+}
+
+// ResolveSocket applies the override order documented in PROTOCOL.md:
+// an explicit flag value wins, then $IRM_DAEMON_SOCKET, then the
+// store-derived default.
+func ResolveSocket(flagValue, storeDir string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	if env := os.Getenv(SocketEnv); env != "" {
+		return env
+	}
+	return DefaultSocket(storeDir)
+}
+
+// BuildRequest is the body of POST /v1/build: build the group file at
+// Group (a path resolvable by the daemon — clients send it absolute)
+// against the daemon's store.
+type BuildRequest struct {
+	Schema string `json:"schema"`
+	Group  string `json:"group"`
+	// Policy is "cutoff" (default when empty) or "timestamp".
+	Policy string `json:"policy,omitempty"`
+	// Jobs is the scheduler width for this build; 0 means the daemon's
+	// default. Outputs are Jobs-independent (DESIGN.md §4e), which is
+	// what makes coalescing requests with different Jobs sound.
+	Jobs int `json:"jobs,omitempty"`
+	// Explain asks for one explain frame per unit before the report.
+	Explain bool `json:"explain,omitempty"`
+	// Client is a free-form label recorded in the daemon log and the
+	// request span; it never affects behaviour.
+	Client string `json:"client,omitempty"`
+}
+
+// SourceUnit is one inline compilation unit of a compile request.
+type SourceUnit struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// CompileRequest is the body of POST /v1/compile: compile the inline
+// units (no shared filesystem needed, nothing persisted in the
+// daemon's store) and return pids and bin files. This is smlc's
+// dispatch path.
+type CompileRequest struct {
+	Schema string       `json:"schema"`
+	Units  []SourceUnit `json:"units"`
+	Jobs   int          `json:"jobs,omitempty"`
+	Client string       `json:"client,omitempty"`
+}
+
+// CompiledUnit is one unit's result in a compile response. Bin is the
+// raw bin-file stream (JSON base64-encodes []byte), byte-identical to
+// what an in-process `smlc` run would have written.
+type CompiledUnit struct {
+	Name     string   `json:"name"`
+	Pid      string   `json:"pid"`       // full intrinsic interface pid
+	PidShort string   `json:"pid_short"` // leading 8 hex digits
+	Imports  []string `json:"imports,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
+	Bin      []byte   `json:"bin"`
+}
+
+// CompileResponse is the body answering POST /v1/compile.
+type CompileResponse struct {
+	Schema string         `json:"schema"`
+	Units  []CompiledUnit `json:"units"`
+	Report obs.Report     `json:"report"`
+}
+
+// Status is the body answering GET /v1/status.
+type Status struct {
+	Schema        string  `json:"schema"`
+	Pid           int     `json:"pid"`
+	Store         string  `json:"store"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts admitted /v1/build and /v1/compile requests,
+	// including coalesced followers; Builds and Compiles count work
+	// actually executed, so Requests - Builds - Compiles - Queued -
+	// Inflight is the number of requests answered from an in-flight
+	// leader.
+	Requests  int64 `json:"requests"`
+	Builds    int64 `json:"builds"`
+	Compiles  int64 `json:"compiles"`
+	Coalesced int64 `json:"coalesced"`
+	Inflight  int   `json:"inflight"`
+	Queued    int   `json:"queued"`
+	QueueCap  int   `json:"queue_cap"`
+	Draining  bool  `json:"draining"`
+	Sessions  int64 `json:"sessions"`
+}
+
+// Frame types of the /v1/build NDJSON stream, in the order a client
+// may see them: exactly one hello, zero or more output frames, zero or
+// more explain frames (only when the request set Explain), then
+// exactly one terminal report or error frame.
+const (
+	FrameHello   = "hello"
+	FrameOutput  = "output"
+	FrameExplain = "explain"
+	FrameReport  = "report"
+	FrameError   = "error"
+)
+
+// Frame is one NDJSON line of a /v1/build response stream.
+type Frame struct {
+	Type string `json:"type"`
+	// hello fields.
+	Schema string `json:"schema,omitempty"`
+	// Session is the per-request session id: every admitted request
+	// gets a fresh one, and every build runs in a fresh compiler
+	// session (see PROTOCOL.md on session isolation).
+	Session int64 `json:"session,omitempty"`
+	// Coalesced reports that this request attached to an in-flight
+	// build of the same fingerprint instead of scheduling its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Output fields: a chunk of the executing program's stdout.
+	Data string `json:"data,omitempty"`
+	// Explain payload (one rebuild-decision record).
+	Explain *obs.Explain `json:"explain,omitempty"`
+	// Report payload (terminal success frame; schema irm-report/2).
+	Report *obs.Report `json:"report,omitempty"`
+	// Error fields (terminal failure frame).
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// Error codes. HTTP-level rejections carry them in an ErrorBody;
+// failures after the stream started arrive as a terminal error frame.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeVersionMismatch = "version_mismatch"
+	CodeNotFound        = "not_found"
+	CodeQueueFull       = "queue_full"
+	CodeDraining        = "draining"
+	CodeBuildFailed     = "build_failed"
+	CodeInternal        = "internal"
+)
+
+// ErrorInfo is the machine-readable error detail.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// RemoteError is the client-side view of a daemon-reported error.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("daemon: %s: %s", e.Code, e.Message)
+}
+
+// fingerprint is the coalescing key: a content hash over the request
+// kind, the policy, and every unit's (name, source-hash) pair, sorted
+// by name. Two requests with equal fingerprints denote the same units
+// at the same pids — building either produces byte-identical store
+// state — so answering both from one build is sound. Jobs is excluded
+// deliberately: outputs are scheduler-width-independent.
+func fingerprint(kind, policy string, units []SourceUnit) string {
+	lines := make([]string, 0, len(units)+2)
+	lines = append(lines, "kind "+kind, "policy "+policy)
+	for _, u := range units {
+		lines = append(lines, u.Name+" "+pid.HashString(u.Source).String())
+	}
+	sort.Strings(lines[2:])
+	joined := ""
+	for _, l := range lines {
+		joined += l + "\n"
+	}
+	return pid.HashString(joined).String()
+}

@@ -2,9 +2,12 @@
 // stdlib-only HTTP server that exposes the process's counter registry
 // in the Prometheus text exposition format, the Go runtime profiles,
 // a liveness probe, and the build-history ledger. It is mounted by
-// `irm serve` (a build followed by a blocking server) and by
+// `irm serve` (a build followed by a blocking server), by
 // `irm build -serve :addr` (serve while the build runs, useful for
-// profiling a long build live).
+// profiling a long build live), and as the fallback mux behind the
+// compile daemon's /v1 API (`irm daemon`, internal/daemon) — which is
+// why PROTOCOL.md §2 documents these routes too, and why the
+// docscheck protocol gate scans this package's registrations.
 //
 // Routes:
 //

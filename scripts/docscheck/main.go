@@ -1,4 +1,4 @@
-// Command docscheck is CI's docs-health gate. Two checks:
+// Command docscheck is CI's docs-health gate. Three checks:
 //
 //   - Package docs: every package under internal/ must have a package
 //     doc comment, and that comment must state the package's
@@ -9,6 +9,11 @@
 //     to Add/Count, in both directions. A counter the code emits but
 //     the table omits is undocumented telemetry; a table entry no
 //     code emits is documentation rot. Either fails CI.
+//   - Protocol registry: the PROTOCOL.md §2 endpoint table must match
+//     the routes the daemon mux actually registers (HandleFunc/Handle
+//     string literals in internal/daemon and internal/obsserve), in
+//     both directions, including the verb: "GET /path" registrations
+//     must be documented as GET, method-less ones as ANY.
 //
 // Exits non-zero listing every failure.
 //
@@ -57,6 +62,7 @@ func main() {
 		}
 	}
 	failed = append(failed, checkCounterRegistry(root)...)
+	failed = append(failed, checkProtocolRegistry(root)...)
 	if len(failed) > 0 {
 		for _, f := range failed {
 			fmt.Fprintln(os.Stderr, "docscheck:", f)
@@ -64,7 +70,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s) failing docs health\n", len(failed))
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d packages healthy, counter registry in sync\n", len(dirs))
+	fmt.Printf("docscheck: %d packages healthy, counter and protocol registries in sync\n", len(dirs))
 }
 
 // counterPat is the shape of a registry counter name: at least one
@@ -168,6 +174,126 @@ func emittedCounters(roots ...string) (map[string]string, error) {
 					if _, seen := out[s]; !seen {
 						out[s] = fset.Position(lit.Pos()).String()
 					}
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// protocolRow matches a PROTOCOL.md §2 endpoint table line:
+// | `VERB` | `/path` | ...
+var protocolRow = regexp.MustCompile("^\\| `(GET|POST|PUT|DELETE|ANY)` \\| `(/[^`]*)` \\|")
+
+// routePat matches the mux patterns the daemon registers: an optional
+// method prefix and a rooted path.
+var routePat = regexp.MustCompile(`^(?:(GET|POST|PUT|DELETE) )?(/.*)$`)
+
+// checkProtocolRegistry diffs the PROTOCOL.md endpoint table against
+// the routes registered on the daemon mux (internal/daemon) and the
+// telemetry mux it falls through to (internal/obsserve). The bare "/"
+// fallback mount is wiring, not an endpoint, and is skipped.
+func checkProtocolRegistry(root string) []string {
+	documented, err := protocolTable("PROTOCOL.md")
+	if err != nil {
+		return []string{fmt.Sprintf("protocol registry: %v", err)}
+	}
+	if len(documented) == 0 {
+		return []string{"protocol registry: no endpoint table found in PROTOCOL.md §2"}
+	}
+	registered, err := registeredRoutes(
+		filepath.Join(root, "daemon"), filepath.Join(root, "obsserve"))
+	if err != nil {
+		return []string{fmt.Sprintf("protocol registry: %v", err)}
+	}
+	var failed []string
+	for route, where := range registered {
+		if !documented[route] {
+			failed = append(failed, fmt.Sprintf(
+				"protocol registry: %s is registered (%s) but missing from the PROTOCOL.md §2 table", route, where))
+		}
+	}
+	for route := range documented {
+		if _, ok := registered[route]; !ok {
+			failed = append(failed, fmt.Sprintf(
+				"protocol registry: %s is in the PROTOCOL.md §2 table but no mux registers it", route))
+		}
+	}
+	sort.Strings(failed)
+	return failed
+}
+
+// protocolTable parses the PROTOCOL.md endpoint table into a set of
+// "VERB /path" route keys.
+func protocolTable(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := protocolRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		out[m[1]+" "+m[2]] = true
+	}
+	return out, nil
+}
+
+// registeredRoutes walks the non-test Go files of the given package
+// dirs and collects the mux patterns passed as the first string
+// literal of HandleFunc/Handle calls, as "VERB /path" keys (ANY for a
+// method-less registration). Returns route -> one registering
+// position.
+func registeredRoutes(dirs ...string) (map[string]string, error) {
+	out := map[string]string{}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %v", path, err)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if (name != "HandleFunc" && name != "Handle") || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				m := routePat.FindStringSubmatch(s)
+				if m == nil || m[2] == "/" { // skip the fallback mount
+					return true
+				}
+				verb := m[1]
+				if verb == "" {
+					verb = "ANY"
+				}
+				route := verb + " " + m[2]
+				if _, seen := out[route]; !seen {
+					out[route] = fset.Position(lit.Pos()).String()
 				}
 				return true
 			})
