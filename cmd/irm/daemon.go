@@ -103,15 +103,24 @@ func cmdDaemon(args []string) {
 		go http.Serve(tln, srv.Handler())
 	}
 
-	// Run until SIGTERM/SIGINT, then drain: admission stops, admitted
-	// requests finish, and the store is left byte-identical to the
-	// same builds run sequentially. POST /v1/drain takes the same path
-	// (Drain is idempotent, so a signal after a drain request is fine).
+	// Run until SIGTERM/SIGINT or a client-initiated POST /v1/drain,
+	// then drain: admission stops, admitted requests finish, and the
+	// store is left byte-identical to the same builds run sequentially.
+	// Both paths end in the same teardown — listener closed, socket
+	// removed, store lock released (deferred), exit 0 — per PROTOCOL.md
+	// §8. Drain is idempotent, so a signal after a drain request is
+	// fine.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(os.Stderr, "irm: daemon draining")
-	srv.Drain()
+	select {
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "irm: daemon draining")
+		srv.Drain()
+	case <-srv.Done():
+		// /v1/drain already ran the drain to completion; only the
+		// teardown is left.
+		fmt.Fprintln(os.Stderr, "irm: daemon draining")
+	}
 	ln.Close()
 	os.Remove(socket)
 	st := srv.Status()

@@ -194,19 +194,28 @@ func cmdBuild(args []string) {
 	// and exit status as an in-process build. The local-only telemetry
 	// surfaces (-trace, -jsonl, -serve) force the in-process path, and
 	// any dial/probe failure falls back to it silently (unless
-	// -daemon require).
+	// -daemon require). A daemon that answers but rejects with one of
+	// PROTOCOL.md §9's backpressure codes (queue_full, draining) also
+	// falls back in-process — the daemon is temporarily unavailable,
+	// not broken; only -daemon require turns that into an error.
 	if *daemonMode != "off" && *tracePath == "" && *jsonlPath == "" && *serveAddr == "" {
 		socketFlag := ""
 		if *daemonMode != "auto" && *daemonMode != "require" {
 			socketFlag = *daemonMode
 		}
 		if c := dialDaemon(socketFlag, *storeDir); c != nil {
-			if err := buildViaDaemon(c, groupPath, *policy, *jobs, *explain, *report); err != nil {
+			err := buildViaDaemon(c, groupPath, *policy, *jobs, *explain, *report)
+			switch {
+			case err == nil:
+				return
+			case *daemonMode != "require" && daemon.IsBackpressure(err):
+				// Fall through to the in-process build below. Backpressure
+				// rejections happen at admission, before the stream starts,
+				// so nothing has been rendered yet.
+			default:
 				fatal(err)
 			}
-			return
-		}
-		if *daemonMode == "require" {
+		} else if *daemonMode == "require" {
 			fatal(fmt.Errorf("no live daemon for store %s (socket %s)",
 				*storeDir, daemon.ResolveSocket(socketFlag, *storeDir)))
 		}

@@ -160,8 +160,9 @@ func main() {
 // compileViaDaemon sends the sources to the daemon's /v1/compile and
 // writes the returned bin files, printing the same per-unit lines as
 // the in-process path. Returns false (caller compiles in-process) when
-// no live daemon answers; daemon-side compile failures are fatal, like
-// their local equivalents.
+// no live daemon answers or the daemon rejects with a backpressure
+// code (queue_full, draining — PROTOCOL.md §9); daemon-side compile
+// failures are fatal, like their local equivalents.
 func compileViaDaemon(socket string, files []core.File, outDir string, jobs int, verbose bool) bool {
 	client := daemon.NewClient(socket)
 	if _, err := client.Probe(); err != nil {
@@ -172,6 +173,9 @@ func compileViaDaemon(socket string, files []core.File, outDir string, jobs int,
 		req.Units = append(req.Units, daemon.SourceUnit{Name: f.Name, Source: f.Source})
 	}
 	resp, err := client.Compile(req)
+	if daemon.IsBackpressure(err) {
+		return false
+	}
 	if err != nil {
 		fatal(err)
 	}

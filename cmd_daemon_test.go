@@ -9,6 +9,8 @@ package repro
 import (
 	"bufio"
 	"bytes"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/daemon"
 )
 
@@ -216,6 +219,110 @@ func TestDaemonFallback(t *testing.T) {
 	}
 	if !strings.Contains(out, "no live daemon") {
 		t.Fatalf("-daemon require error message:\n%s", out)
+	}
+}
+
+// TestDaemonClientDrainExits: POST /v1/drain must finish the shutdown
+// the same way SIGTERM does — the daemon process exits 0, the socket
+// file is removed, and the store lock is released, so the next build
+// can take the store (PROTOCOL.md §8).
+func TestDaemonClientDrainExits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm")
+	work := t.TempDir()
+	group := writeDaemonProject(t, work)
+	store := filepath.Join(work, "store")
+
+	socket, cmd, logCh := startDaemonCmd(t, tools["irm"], "-store", store)
+	if err := daemon.NewClient(socket).Drain(); err != nil {
+		t.Fatalf("drain request: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after client drain: %v", err)
+	}
+	log := <-logCh
+	if !strings.Contains(log, "irm: daemon drained") {
+		t.Fatalf("daemon log missing drained announcement:\n%s", log)
+	}
+	if _, err := os.Stat(socket); !os.IsNotExist(err) {
+		t.Fatalf("socket %s not removed after client drain (err=%v)", socket, err)
+	}
+	// The store lock is free again: an in-process build must succeed
+	// rather than timing out on a still-held lock.
+	out, err := runTool(t, tools["irm"], "", "build", group, "-store", store)
+	if err != nil {
+		t.Fatalf("post-drain build: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("post-drain build output:\n%s", out)
+	}
+}
+
+// TestDaemonBackpressureFallback: a daemon that answers the probe but
+// rejects work with a backpressure code (here: 503 draining) must not
+// fail an auto-mode build — irm build and smlc run the work in-process
+// (PROTOCOL.md §9); only -daemon require treats backpressure as fatal.
+func TestDaemonBackpressureFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "irm", "smlc")
+	work := t.TempDir()
+	group := writeDaemonProject(t, work)
+	store := filepath.Join(work, "store")
+
+	// An in-test daemon, fully drained: GET /v1/status answers 200 (so
+	// the probe succeeds) while every build and compile gets 503
+	// draining. Its store stays untouched, so no lock is needed.
+	dstore, err := core.NewDirStore(filepath.Join(work, "daemon-store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := daemon.New(daemon.Options{Store: dstore, StoreDir: dstore.Dir})
+	srv.Start()
+	srv.Drain()
+	socket := filepath.Join(work, "drained.sock")
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go http.Serve(ln, srv.Handler())
+
+	out, err := runTool(t, tools["irm"], "", "build", group, "-store", store, "-daemon", socket)
+	if err != nil {
+		t.Fatalf("auto-mode build did not fall back on 503 draining: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "42") || !strings.Contains(out, "2 units") {
+		t.Fatalf("fallback build output:\n%s", out)
+	}
+
+	cmd := exec.Command(tools["irm"], "build", group, "-store", store, "-daemon", "require")
+	cmd.Env = append(os.Environ(), daemon.SocketEnv+"="+socket)
+	reqOut, reqErr := cmd.CombinedOutput()
+	if reqErr == nil {
+		t.Fatalf("-daemon require succeeded against a draining daemon:\n%s", reqOut)
+	}
+	if !strings.Contains(string(reqOut), "draining") {
+		t.Fatalf("-daemon require error message:\n%s", reqOut)
+	}
+
+	// smlc takes the same fallback: the compile runs in-process and
+	// still writes its bin files.
+	outDir := filepath.Join(work, "bins")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	smlc := exec.Command(tools["smlc"], "-d", outDir, filepath.Join(work, "lib.sml"))
+	smlc.Env = append(os.Environ(), daemon.SocketEnv+"="+socket)
+	smlcOut, smlcErr := smlc.CombinedOutput()
+	if smlcErr != nil {
+		t.Fatalf("smlc did not fall back on 503 draining: %v\n%s", smlcErr, smlcOut)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "lib.bin")); err != nil {
+		t.Fatalf("smlc fallback wrote no bin file: %v", err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -185,6 +186,19 @@ func (c *Client) Drain() error {
 	return nil
 }
 
+// IsBackpressure reports whether err is a daemon rejection carrying
+// one of the two backpressure codes — queue_full or draining —
+// PROTOCOL.md §9's "temporarily unavailable, run the work yourself"
+// signal. Clients in auto mode fall back to an in-process build on
+// these; only -daemon require treats them as fatal.
+func IsBackpressure(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return re.Code == CodeQueueFull || re.Code == CodeDraining
+}
+
 // remoteError decodes a non-2xx response's JSON error body, falling
 // back to the raw text for non-protocol responses.
 func remoteError(resp *http.Response) error {
@@ -196,4 +210,3 @@ func remoteError(resp *http.Response) error {
 	return &RemoteError{Code: CodeInternal,
 		Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, string(data))}
 }
-

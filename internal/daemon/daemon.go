@@ -14,11 +14,12 @@
 //   - Admission control: requests enter a bounded FIFO queue and one
 //     worker executes them strictly in admission order. A full queue
 //     answers 503 queue_full immediately instead of stacking latency.
-//   - Request coalescing: a request whose fingerprint (unit names +
-//     source hashes + policy; see protocol.go) matches a queued or
-//     running request attaches to it as a follower — N clients asking
-//     for the same units at the same pids cost exactly one build, and
-//     followers replay the leader's output, explains, and report.
+//   - Request coalescing: a request whose fingerprint (request
+//     identity + unit names + source hashes + policy; see protocol.go)
+//     matches a queued or running request attaches to it as a follower
+//     — N clients asking for the same group at the same pids cost
+//     exactly one build, and followers replay the leader's output,
+//     explains, and report.
 //   - Graceful drain: SIGTERM (or POST /v1/drain) stops admission
 //     (new requests get 503 draining), finishes every admitted
 //     request, then releases the lock and removes the socket. Because
@@ -49,6 +50,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -131,12 +133,15 @@ type call struct {
 
 	done chan struct{} // closed when result is valid
 
-	// outMu guards output and live: the worker appends program output
-	// while the leader handler attaches its stream, possibly after the
-	// build already started.
-	outMu  sync.Mutex
-	output bytes.Buffer
-	live   *frameWriter
+	// outMu guards output and outDone; outCond is signalled on every
+	// append and when the worker finishes producing output. The leader's
+	// pump goroutine (streamLive) waits on it, so the worker never does
+	// network I/O: a stalled leader connection can delay its own stream
+	// but never the build or the queue behind it.
+	outMu   sync.Mutex
+	outCond *sync.Cond
+	output  bytes.Buffer
+	outDone bool
 
 	// Result, valid after done closes.
 	report   obs.Report
@@ -210,6 +215,14 @@ func (s *Server) Drain() {
 	s.ring()
 	<-s.stopped
 }
+
+// Done returns a channel that is closed once the daemon has fully
+// drained (the worker exited). The process owner selects on it
+// alongside its signal channel so a client-initiated POST /v1/drain
+// runs the same teardown — close the listener, remove the socket,
+// release the store lock, exit 0 — as a SIGTERM drain (PROTOCOL.md
+// §8 step 3).
+func (s *Server) Done() <-chan struct{} { return s.stopped }
 
 // Status snapshots the daemon's state.
 func (s *Server) Status() Status {
@@ -286,9 +299,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	s.logf("daemon: drain requested by %s", r.RemoteAddr)
-	go s.Drain()
+	// Answer (and flush) before starting the drain: on an idle daemon
+	// the worker exits almost immediately and the process owner tears
+	// down on Done(), so the response must be on the wire first.
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]bool{"draining": true})
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	go s.Drain()
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -322,8 +341,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		jobs = s.opts.Jobs
 	}
 	c, session, leader := s.admit(&call{
-		kind:   "build",
-		fp:     fingerprint("build", policy.String(), units),
+		kind: "build",
+		// The group path is part of the fingerprint: identical sources
+		// under two different group files must not coalesce, or the
+		// follower's report would carry the leader's group name.
+		fp:     fingerprint("build", policy.String(), group.Name, units),
 		name:   group.Name,
 		policy: policy,
 		jobs:   jobs,
@@ -335,10 +357,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 
 	fw := newFrameWriter(w)
 	fw.frame(Frame{Type: FrameHello, Schema: Schema, Session: session, Coalesced: !leader})
+	var liveDone <-chan struct{}
 	if leader {
-		// The worker streams output frames through c.live while the
-		// build runs; the terminal frames are ours once done closes.
-		c.attachLive(fw)
+		// A pump goroutine streams output frames while the build runs;
+		// the terminal frames are ours once done closes.
+		liveDone = c.streamLive(fw)
 	}
 	select {
 	case <-c.done:
@@ -350,7 +373,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if !leader {
+	if leader {
+		// Wait for the pump to flush the last output chunk so the
+		// terminal frames keep PROTOCOL.md §5's frame order.
+		<-liveDone
+	} else {
 		// Followers replay the leader's buffered output after the fact.
 		if out := c.outputString(); out != "" {
 			fw.frame(Frame{Type: FrameOutput, Data: out})
@@ -388,7 +415,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	fresh := &call{
 		kind:   "compile",
-		fp:     fingerprint("compile", core.PolicyCutoff.String(), req.Units),
 		name:   "compile",
 		policy: core.PolicyCutoff,
 		jobs:   jobs,
@@ -397,6 +423,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		fresh.files = append(fresh.files, core.File{Name: u.Name, Source: u.Source})
 		fresh.order = append(fresh.order, u.Name)
 	}
+	// The request's unit order is part of the fingerprint: /v1/compile
+	// answers units in request order, so two requests for the same
+	// sources in different orders need responses of their own.
+	fresh.fp = fingerprint("compile", core.PolicyCutoff.String(),
+		strings.Join(fresh.order, "\x00"), req.Units)
 	c, _, _ := s.admit(fresh, req.Client, w)
 	if c == nil {
 		return
@@ -459,6 +490,7 @@ func (s *Server) admit(fresh *call, client string, w http.ResponseWriter) (c *ca
 	fresh.session = s.sessions
 	fresh.admit = time.Now()
 	fresh.done = make(chan struct{})
+	fresh.outCond = sync.NewCond(&fresh.outMu)
 	s.queue = append(s.queue, fresh)
 	s.inflight[fresh.fp] = fresh
 	s.mu.Unlock()
@@ -505,6 +537,13 @@ func (s *Server) worker() {
 		s.running = nil
 		delete(s.inflight, c.fp)
 		s.mu.Unlock()
+		// Output is complete: wake the leader's pump so it flushes the
+		// tail and exits. Must precede close(done) — the leader handler
+		// waits for the pump only after done closes.
+		c.outMu.Lock()
+		c.outDone = true
+		c.outCond.Broadcast()
+		c.outMu.Unlock()
 		close(c.done)
 	}
 }
@@ -614,16 +653,40 @@ func (s *captureStore) Save(name string, e *core.Entry) error {
 	return nil
 }
 
-// attachLive connects the leader's stream to the call: output already
-// buffered (the worker may have started before the handler got here)
-// is flushed as the first output frame, and later chunks stream live.
-func (c *call) attachLive(fw *frameWriter) {
-	c.outMu.Lock()
-	defer c.outMu.Unlock()
-	if c.output.Len() > 0 {
-		fw.frame(Frame{Type: FrameOutput, Data: c.output.String()})
-	}
-	c.live = fw
+// streamLive starts the leader's output pump: a goroutine that follows
+// the call's output buffer and writes each new chunk as an output
+// frame, including anything buffered before the handler got here (the
+// worker may already have started). The returned channel closes when
+// the worker has finished producing output and the pump has written
+// (or, detached, discarded) all of it; the handler waits on it before
+// the terminal frames so frame order holds. Because the pump — not the
+// worker — does the blocking connection writes, a stalled leader
+// client can never stall the build or the queue behind it.
+func (c *call) streamLive(fw *frameWriter) <-chan struct{} {
+	pumped := make(chan struct{})
+	go func() {
+		defer close(pumped)
+		sent := 0
+		for {
+			c.outMu.Lock()
+			for c.output.Len() == sent && !c.outDone {
+				c.outCond.Wait()
+			}
+			chunk := string(c.output.Bytes()[sent:])
+			finished := c.outDone
+			c.outMu.Unlock()
+			if chunk != "" {
+				fw.frame(Frame{Type: FrameOutput, Data: chunk})
+				sent += len(chunk)
+			}
+			if finished {
+				// outDone is set only after the last append, and chunk was
+				// read under the same lock, so everything has been written.
+				return
+			}
+		}
+	}()
+	return pumped
 }
 
 // outputString snapshots the buffered program output.
@@ -634,8 +697,8 @@ func (c *call) outputString() string {
 }
 
 // teeOutput is the executing program's stdout: it buffers everything
-// for followers and forwards to the leader's live stream when one is
-// attached.
+// for followers and wakes the leader's pump, which streams the new
+// chunk from its own goroutine. No network I/O happens on the worker.
 type teeOutput struct {
 	col *obs.Collector
 	c   *call
@@ -646,16 +709,15 @@ func (t *teeOutput) Write(p []byte) (int, error) {
 	t.c.outMu.Lock()
 	defer t.c.outMu.Unlock()
 	t.c.output.Write(p)
-	if t.c.live != nil {
-		t.c.live.frame(Frame{Type: FrameOutput, Data: string(p)})
-	}
+	t.c.outCond.Broadcast()
 	return len(p), nil
 }
 
 // frameWriter serializes NDJSON frames onto one HTTP response: the
-// worker (output frames) and the handler (hello + terminal frames) may
-// interleave, and a detached writer (client gone) swallows writes so
-// the build never blocks on a dead connection.
+// leader's pump goroutine (output frames) and the handler (hello +
+// terminal frames) may interleave, and a detached writer (client gone)
+// swallows writes so the pump drains instead of blocking on a dead
+// connection.
 type frameWriter struct {
 	mu       sync.Mutex
 	w        http.ResponseWriter

@@ -341,6 +341,73 @@ func TestDrainMidBuild(t *testing.T) {
 	compareStores(t, d.storeDir, coldDir)
 }
 
+// TestClientDrainSignalsDone: a client-initiated POST /v1/drain must
+// run to completion on its own — Done() closes without the process
+// side ever calling Drain() — because that is what lets `irm daemon`
+// tear down (close the listener, remove the socket, release the store
+// lock, exit 0) after a remote drain, per PROTOCOL.md §8 step 3.
+func TestClientDrainSignalsDone(t *testing.T) {
+	d := startDaemon(t, nil)
+	if err := d.client.Drain(); err != nil {
+		t.Fatalf("drain request: %v", err)
+	}
+	select {
+	case <-d.srv.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("Done() did not close after a client-initiated drain")
+	}
+	if !d.srv.Status().Draining {
+		t.Fatal("status not draining after the drain completed")
+	}
+}
+
+// TestNoCoalesceAcrossGroups: two group files with byte-identical
+// sources are different requests — each must run its own build and
+// each client's report must carry its own group name, not the other
+// leader's.
+func TestNoCoalesceAcrossGroups(t *testing.T) {
+	gate := make(chan struct{})
+	d := startDaemon(t, func(o *Options) {
+		o.BeforeWork = func() { <-gate }
+	})
+	units := threeUnits()
+	groups := []string{
+		writeGroup(t, t.TempDir(), units),
+		writeGroup(t, t.TempDir(), units),
+	}
+
+	streams := make([]*buildStream, 2)
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			streams[i] = collectBuild(d.client, BuildRequest{Group: groups[i]})
+		}(i)
+	}
+	waitFor(t, "two separately admitted builds", func() bool {
+		st := d.srv.Status()
+		return st.Requests == 2 && st.Coalesced == 0 && st.Inflight+st.Queued == 2
+	})
+	close(gate)
+	wg.Wait()
+
+	for i, st := range streams {
+		if st.err != nil || st.report == nil {
+			t.Fatalf("build %d: err %v report %v", i, st.err, st.report)
+		}
+		if st.hello.Coalesced {
+			t.Fatalf("build %d coalesced across distinct group files", i)
+		}
+		if st.report.Name != groups[i] {
+			t.Fatalf("build %d report name %q, want its own group %q", i, st.report.Name, groups[i])
+		}
+	}
+	if n := d.col.Counters()["daemon.builds"]; n != 2 {
+		t.Fatalf("daemon.builds = %d, want 2 (one per group)", n)
+	}
+}
+
 // compareStores asserts two store directories hold identical entries
 // (same file set, same bytes), ignoring the advisory lockfile.
 func compareStores(t *testing.T, a, b string) {
@@ -592,22 +659,37 @@ func TestResolveSocket(t *testing.T) {
 }
 
 // TestFingerprintSemantics: order-insensitive over units, sensitive to
-// source, name, policy, and kind, insensitive to nothing else.
+// source, name, policy, kind, and the request identity (the group path
+// for builds, the unit order for compiles), insensitive to nothing
+// else.
 func TestFingerprintSemantics(t *testing.T) {
 	u1 := SourceUnit{Name: "a.sml", Source: "structure A = struct end"}
 	u2 := SourceUnit{Name: "b.sml", Source: "structure B = struct end"}
-	base := fingerprint("build", "cutoff", []SourceUnit{u1, u2})
-	if fingerprint("build", "cutoff", []SourceUnit{u2, u1}) != base {
+	base := fingerprint("build", "cutoff", "/p/group.cm", []SourceUnit{u1, u2})
+	if fingerprint("build", "cutoff", "/p/group.cm", []SourceUnit{u2, u1}) != base {
 		t.Fatal("fingerprint is order-sensitive")
 	}
-	if fingerprint("build", "timestamp", []SourceUnit{u1, u2}) == base {
+	if fingerprint("build", "timestamp", "/p/group.cm", []SourceUnit{u1, u2}) == base {
 		t.Fatal("fingerprint ignores policy")
 	}
-	if fingerprint("compile", "cutoff", []SourceUnit{u1, u2}) == base {
+	if fingerprint("compile", "cutoff", "/p/group.cm", []SourceUnit{u1, u2}) == base {
 		t.Fatal("fingerprint ignores kind")
 	}
 	edited := SourceUnit{Name: "a.sml", Source: "structure A = struct val x = 1 end"}
-	if fingerprint("build", "cutoff", []SourceUnit{edited, u2}) == base {
+	if fingerprint("build", "cutoff", "/p/group.cm", []SourceUnit{edited, u2}) == base {
 		t.Fatal("fingerprint ignores source edits")
+	}
+	// Identity: the same sources under a different group file are a
+	// different request — the report carries the group name, so they
+	// must not coalesce.
+	if fingerprint("build", "cutoff", "/q/other.cm", []SourceUnit{u1, u2}) == base {
+		t.Fatal("fingerprint ignores the group identity")
+	}
+	// Identity for compiles is the request's unit order: /v1/compile
+	// answers units in that order.
+	fwd := fingerprint("compile", "cutoff", "a.sml\x00b.sml", []SourceUnit{u1, u2})
+	rev := fingerprint("compile", "cutoff", "b.sml\x00a.sml", []SourceUnit{u2, u1})
+	if fwd == rev {
+		t.Fatal("fingerprint ignores compile unit order")
 	}
 }

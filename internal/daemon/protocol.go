@@ -195,18 +195,26 @@ func (e *RemoteError) Error() string {
 }
 
 // fingerprint is the coalescing key: a content hash over the request
-// kind, the policy, and every unit's (name, source-hash) pair, sorted
-// by name. Two requests with equal fingerprints denote the same units
-// at the same pids — building either produces byte-identical store
-// state — so answering both from one build is sound. Jobs is excluded
-// deliberately: outputs are scheduler-width-independent.
-func fingerprint(kind, policy string, units []SourceUnit) string {
-	lines := make([]string, 0, len(units)+2)
-	lines = append(lines, "kind "+kind, "policy "+policy)
+// kind, the policy, the request's identity, and every unit's (name,
+// source-hash) pair, sorted by name. Two requests with equal
+// fingerprints denote the same request for the same units at the same
+// pids — building either produces byte-identical store state and the
+// same report — so answering both from one build is sound. Jobs is
+// excluded deliberately: outputs are scheduler-width-independent.
+//
+// identity is what distinguishes two requests whose sources happen to
+// be byte-identical but whose responses must differ: for builds it is
+// the group path (the report's Name), so a follower never receives a
+// summary labelled with another group's name; for compiles it is the
+// unit names in request order, because /v1/compile answers units in
+// that order.
+func fingerprint(kind, policy, identity string, units []SourceUnit) string {
+	lines := make([]string, 0, len(units)+3)
+	lines = append(lines, "kind "+kind, "policy "+policy, "identity "+identity)
 	for _, u := range units {
 		lines = append(lines, u.Name+" "+pid.HashString(u.Source).String())
 	}
-	sort.Strings(lines[2:])
+	sort.Strings(lines[3:])
 	joined := ""
 	for _, l := range lines {
 		joined += l + "\n"
