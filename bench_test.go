@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/elab"
 	"repro/internal/env"
+	"repro/internal/interp"
 	"repro/internal/linker"
 	"repro/internal/parser"
 	"repro/internal/pickle"
@@ -738,6 +739,91 @@ func BenchmarkPipelineRehydrate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := binfile.Read(data, s2.Index); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Compiled-execution engine (DESIGN.md §4j): hot apply and unit
+// execution on both engines. These three are in benchgate's gated set
+// (scripts/benchgate), so a PR that regresses the compiled engine's
+// apply or exec time fails CI.
+// ---------------------------------------------------------------------
+
+func newSessionOn(b *testing.B, engine interp.Engine) *compiler.Session {
+	b.Helper()
+	var sink bytes.Buffer
+	s, err := compiler.NewSessionWith(&sink, engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// applyHotSource is apply-dominated: fib 20 is ~10k two-argument-free
+// applications per execution, so the frame/slot machinery is the whole
+// cost and the tree-vs-closure delta is the engine's headline number.
+const applyHotSource = `
+fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)
+val r = fib 20
+`
+
+func BenchmarkApplyHot(b *testing.B) {
+	for _, eng := range []interp.Engine{interp.EngineTree, interp.EngineClosure} {
+		eng := eng
+		b.Run(eng.String(), func(b *testing.B) {
+			s := newSessionOn(b, eng)
+			u, err := s.Compile("bench", applyHotSource)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dyn := s.Dyn.Copy()
+				if err := compiler.Execute(s.Machine, u, dyn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecCold measures the compile-on-demand path: the unit
+// arrives without a compiled form (a V1 bin, or a hand-built unit), so
+// every execution pays slot resolution before running.
+func BenchmarkExecCold(b *testing.B) {
+	s := newSession(b)
+	u, err := s.Compile("bench", applyHotSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Prog = nil
+		dyn := s.Dyn.Copy()
+		if err := compiler.Execute(s.Machine, u, dyn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecWarm measures the steady state: the compiled form is
+// already on the unit (fresh compile or V2 bin load), so execution is
+// pure closure running.
+func BenchmarkExecWarm(b *testing.B) {
+	s := newSession(b)
+	u, err := s.Compile("bench", applyHotSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if u.Prog == nil {
+		b.Fatal("compile left no program")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn := s.Dyn.Copy()
+		if err := compiler.Execute(s.Machine, u, dyn); err != nil {
 			b.Fatal(err)
 		}
 	}

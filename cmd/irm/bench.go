@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pickle"
 	"repro/internal/workload"
@@ -20,8 +21,11 @@ import (
 // per-scenario heap-allocation deltas and the warm-env-cache record
 // (rehydration speedup and hit rate of the pid-keyed EnvCache);
 // version 4 adds the provenance record (git commit, dirty flag, Go
-// version, GOMAXPROCS) so archived bench files say what produced them.
-const BenchSchema = "irm-bench/4"
+// version, GOMAXPROCS) so archived bench files say what produced them;
+// version 5 records the exec engine in the config and per-scenario
+// execution figures (exec wall time, peak exec parallelism) from the
+// compiled-execution engine's counters.
+const BenchSchema = "irm-bench/5"
 
 // BenchFile is the machine-readable output of `irm bench`: the edit
 // matrix of the paper's evaluation (cold / null / implementation edit
@@ -75,6 +79,7 @@ type BenchConfig struct {
 	Shape        string `json:"shape"`
 	Seed         int64  `json:"seed"`
 	Policy       string `json:"policy"`
+	ExecEngine   string `json:"exec_engine"` // closure or tree (-exec)
 }
 
 // BenchRun is the edit matrix at one scheduler width.
@@ -88,12 +93,18 @@ type BenchRun struct {
 // TotalAlloc) across the build; AllocsPerUnit divides by the project
 // size so widths and PRs compare on the same scale.
 type BenchScenario struct {
-	Name          string     `json:"name"`
-	WallNs        int64      `json:"wall_ns"`
-	Allocs        uint64     `json:"allocs"`
-	AllocBytes    uint64     `json:"alloc_bytes"`
-	AllocsPerUnit uint64     `json:"allocs_per_unit"`
-	Report        obs.Report `json:"report"`
+	Name          string `json:"name"`
+	WallNs        int64  `json:"wall_ns"`
+	Allocs        uint64 `json:"allocs"`
+	AllocBytes    uint64 `json:"alloc_bytes"`
+	AllocsPerUnit uint64 `json:"allocs_per_unit"`
+	// ExecNs is the summed unit-execution time (counter time.exec_ns)
+	// and ExecParallelism the peak number of units executing at once
+	// (counter exec.parallelism.max) — the schema-5 view of the
+	// parallel exec stage.
+	ExecNs          int64      `json:"exec_ns"`
+	ExecParallelism int64      `json:"exec_parallelism"`
+	Report          obs.Report `json:"report"`
 }
 
 // BenchSpeedup compares the cold build across scheduler widths — the
@@ -181,7 +192,12 @@ func cmdBench(args []string) {
 	seed := fs.Int64("seed", 1994, "workload generator seed")
 	policy := fs.String("policy", "cutoff", "recompilation policy: cutoff or timestamp")
 	jobs := fs.Int("j", 0, "parallel width to compare against -j1 (0 = one per core)")
+	execFlag := fs.String("exec", "closure", "execution engine: closure (compiled) or tree (interpreter)")
 	fs.Parse(args)
+	engine, err := interp.ParseEngine(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := workload.Config{
 		Shape: workload.Layered, Units: *units, LinesPerUnit: *lines,
@@ -224,6 +240,7 @@ func cmdBench(args []string) {
 		Config: BenchConfig{
 			Units: cfg.Units, LinesPerUnit: cfg.LinesPerUnit,
 			Shape: cfg.Shape.String(), Seed: cfg.Seed, Policy: pol.String(),
+			ExecEngine: engine.String(),
 		},
 	}
 	coldWall := map[int]int64{}
@@ -241,7 +258,7 @@ func cmdBench(args []string) {
 			}
 			col := obs.New()
 			store.Obs = col
-			m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, Obs: col, Jobs: w}
+			m := &core.Manager{Policy: pol, Store: store, Stdout: io.Discard, Obs: col, Jobs: w, Engine: engine}
 			var wall time.Duration
 			var buildErr error
 			allocs, allocBytes := memDelta(func() {
@@ -256,12 +273,14 @@ func cmdBench(args []string) {
 				coldWall[w] = int64(wall)
 			}
 			run.Scenarios = append(run.Scenarios, BenchScenario{
-				Name:          sc.name,
-				WallNs:        int64(wall),
-				Allocs:        allocs,
-				AllocBytes:    allocBytes,
-				AllocsPerUnit: allocs / uint64(len(p.Files)),
-				Report:        m.Report(sc.name),
+				Name:            sc.name,
+				WallNs:          int64(wall),
+				Allocs:          allocs,
+				AllocBytes:      allocBytes,
+				AllocsPerUnit:   allocs / uint64(len(p.Files)),
+				ExecNs:          m.Counters["time.exec_ns"],
+				ExecParallelism: m.Counters["exec.parallelism.max"],
+				Report:          m.Report(sc.name),
 			})
 			fmt.Fprintf(os.Stderr, "irm bench: -j%-2d %-14s %10v  compiled %3d, loaded %3d, cutoffs %3d\n",
 				w, sc.name, wall.Round(time.Microsecond), m.Stats.Compiled, m.Stats.Loaded, m.Stats.Cutoffs)

@@ -6,6 +6,7 @@
 //	irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
 //	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
 //	          [-serve addr] [-history dir|off] [-daemon auto|off|require|socket]
+//	          [-exec closure|tree]
 //	irm daemon [-store dir] [-socket path] [-addr host:port] [-j n] [-policy p]
 //	          [-queue n] [-history dir|off] [-v]
 //	irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
@@ -14,13 +15,19 @@
 //	irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t] [-since d]
 //	irm top [-store dir | -dir ledgerdir] [-n k] [-since d]
 //	irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
-//	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
+//	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n] [-exec closure|tree]
 //	irm deps  group.cm
 //	irm collision [-pids n]
 //
 // -j sets the parallel scheduler's worker count (0, the default, means
 // one worker per core). Whatever -j, a build's outputs — bin files,
 // stats, explain records — are deterministic; see DESIGN.md §4e.
+//
+// -exec selects the execution engine: closure (default) runs units as
+// compiled Go closures with array-indexed variable frames, tree falls
+// back to the direct tree-walking interpreter. Both produce identical
+// bins, values, and output (DESIGN.md §4j); tree forces the in-process
+// build path, bypassing any running daemon.
 //
 // Telemetry: -trace writes the build's span tree as Chrome
 // trace_event JSON (load it in chrome://tracing or Perfetto), -jsonl
@@ -72,6 +79,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/depend"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/obsserve"
 )
@@ -146,15 +154,17 @@ func usage() {
   irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
             [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
             [-serve addr] [-history dir|off] [-daemon auto|off|require|socket]
+            [-exec closure|tree]
   irm daemon [-store dir] [-socket path] [-addr host:port] [-j n] [-policy p]
             [-queue n] [-history dir|off] [-v]
   irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
-            [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json] [-v]
+            [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json]
+            [-exec closure|tree] [-v]
   irm serve [group.cm] [-addr host:port] [-store dir] [-policy p] [-j n] [-history dir|off]
   irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t] [-since d]
   irm top [-store dir | -dir ledgerdir] [-n k] [-since d]
   irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
-  irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n]
+  irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n] [-exec closure|tree]
   irm deps  group.cm
   irm show  file.sml ...
   irm collision [-pids n]`)
@@ -174,6 +184,7 @@ func cmdBuild(args []string) {
 	serveAddr := fs.String("serve", "", "serve /metrics and /debug/pprof on this address while the build runs")
 	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
 	daemonMode := fs.String("daemon", "auto", "daemon dispatch: auto, off, require, or a socket path")
+	execFlag := fs.String("exec", "closure", "execution engine: closure (compiled) or tree (interpreter)")
 	groupPath, rest := splitGroupArg(args)
 	fs.Parse(rest)
 	if groupPath == "" && fs.NArg() == 1 {
@@ -188,6 +199,10 @@ func cmdBuild(args []string) {
 	if *policy != "cutoff" && *policy != "timestamp" {
 		usage()
 	}
+	engine, err := interp.ParseEngine(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Daemon dispatch: when a live daemon serves this store, hand it
 	// the build and render its streamed frames — same output, summary,
@@ -198,7 +213,11 @@ func cmdBuild(args []string) {
 	// PROTOCOL.md §9's backpressure codes (queue_full, draining) also
 	// falls back in-process — the daemon is temporarily unavailable,
 	// not broken; only -daemon require turns that into an error.
-	if *daemonMode != "off" && *tracePath == "" && *jsonlPath == "" && *serveAddr == "" {
+	// -exec=tree is a debugging mode, not a protocol feature: it too
+	// forces the in-process path, since the daemon always runs the
+	// default compiled engine.
+	if *daemonMode != "off" && *tracePath == "" && *jsonlPath == "" && *serveAddr == "" &&
+		engine == interp.EngineClosure {
 		socketFlag := ""
 		if *daemonMode != "auto" && *daemonMode != "require" {
 			socketFlag = *daemonMode
@@ -232,7 +251,7 @@ func cmdBuild(args []string) {
 	// One collector spans the manager, the store, and the lock path.
 	col := obs.New()
 	store.Obs = col
-	m := &core.Manager{Store: store, Stdout: os.Stdout, Obs: col, Jobs: *jobs}
+	m := &core.Manager{Store: store, Stdout: os.Stdout, Obs: col, Jobs: *jobs, Engine: engine}
 	switch *policy {
 	case "cutoff":
 		m.Policy = core.PolicyCutoff

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/obsserve"
 	"repro/internal/repl"
@@ -19,9 +20,15 @@ import (
 func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the session to this file on exit")
 	serveAddr := flag.String("serve", "", "serve /metrics and /debug/pprof on this address for the session's lifetime")
+	execFlag := flag.String("exec", "closure", "execution engine: closure (compiled) or tree (interpreter)")
 	flag.Parse()
 
-	r, err := repl.New(os.Stdout)
+	engine, err := interp.ParseEngine(*execFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smlrepl:", err)
+		os.Exit(1)
+	}
+	r, err := repl.NewWith(os.Stdout, engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smlrepl:", err)
 		os.Exit(1)

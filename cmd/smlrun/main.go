@@ -15,6 +15,7 @@ import (
 	"repro/internal/binfile"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/linker"
 	"repro/internal/obs"
 	"repro/internal/pid"
@@ -28,18 +29,23 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	explain := flag.Bool("explain", false, "stream one rebuild-decision JSON record per unit to stderr")
 	report := flag.String("report", "", "with 'json', write a machine-readable build report line to stderr")
+	execFlag := flag.String("exec", "closure", "execution engine: closure (compiled) or tree (interpreter)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: smlrun [-bin] [-store dir] [-j n] [-v] [-trace out.json] [-explain] [-report json] file ...")
+			"usage: smlrun [-bin] [-store dir] [-j n] [-v] [-trace out.json] [-explain] [-report json] [-exec closure|tree] file ...")
 		os.Exit(2)
 	}
 	if *report != "" && *report != "json" {
 		fatal(fmt.Errorf("unknown -report format %q (want json)", *report))
 	}
+	engine, err := interp.ParseEngine(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *binMode {
-		runBins(flag.Args(), *tracePath, *report)
+		runBins(flag.Args(), *tracePath, *report, engine)
 		return
 	}
 
@@ -48,6 +54,7 @@ func main() {
 	m.Stdout = os.Stdout
 	m.Obs = col
 	m.Jobs = *jobs
+	m.Engine = engine
 	if *verbose {
 		m.Log = os.Stderr
 	}
@@ -118,8 +125,8 @@ func writeTrace(col *obs.Collector, path string) {
 // The execute phase runs under a collector, so even a bin-only run
 // gets per-unit execute spans (-trace) and exec.* counters
 // (-report json).
-func runBins(paths []string, tracePath, report string) {
-	session, err := compiler.NewSession(os.Stdout)
+func runBins(paths []string, tracePath, report string, engine interp.Engine) {
+	session, err := compiler.NewSessionWith(os.Stdout, engine)
 	if err != nil {
 		fatal(err)
 	}

@@ -252,10 +252,12 @@ func TestTelemetryCLI(t *testing.T) {
 			t.Fatal(err)
 		}
 		type scenario struct {
-			Name   string `json:"name"`
-			WallNs int64  `json:"wall_ns"`
-			Allocs uint64 `json:"allocs"`
-			Report struct {
+			Name            string `json:"name"`
+			WallNs          int64  `json:"wall_ns"`
+			Allocs          uint64 `json:"allocs"`
+			ExecNs          int64  `json:"exec_ns"`
+			ExecParallelism int64  `json:"exec_parallelism"`
+			Report          struct {
 				Units    int `json:"units"`
 				Compiled int `json:"compiled"`
 				Loaded   int `json:"loaded"`
@@ -263,7 +265,10 @@ func TestTelemetryCLI(t *testing.T) {
 			} `json:"report"`
 		}
 		var bf struct {
-			Schema     string `json:"schema"`
+			Schema string `json:"schema"`
+			Config struct {
+				ExecEngine string `json:"exec_engine"`
+			} `json:"config"`
 			Provenance struct {
 				GoVersion  string `json:"go_version"`
 				GOMAXPROCS int    `json:"gomaxprocs"`
@@ -292,8 +297,11 @@ func TestTelemetryCLI(t *testing.T) {
 		if err := json.Unmarshal(data, &bf); err != nil {
 			t.Fatalf("bench output is not valid JSON: %v", err)
 		}
-		if bf.Schema != "irm-bench/4" {
+		if bf.Schema != "irm-bench/5" {
 			t.Errorf("bench schema %q", bf.Schema)
+		}
+		if bf.Config.ExecEngine != "closure" {
+			t.Errorf("config exec_engine %q, want closure default", bf.Config.ExecEngine)
 		}
 		if p := bf.Provenance; p.GoVersion == "" || p.GOMAXPROCS < 1 || p.OS == "" || p.Arch == "" {
 			t.Errorf("provenance incomplete: %+v", p)
@@ -325,6 +333,13 @@ func TestTelemetryCLI(t *testing.T) {
 				}
 				if sc.Allocs == 0 {
 					t.Errorf("-j%d %s: allocs=0, want a heap delta", run.Jobs, sc.Name)
+				}
+				if sc.ExecNs <= 0 {
+					t.Errorf("-j%d %s: exec_ns=%d, want unit-execution time", run.Jobs, sc.Name, sc.ExecNs)
+				}
+				if sc.ExecParallelism < 1 || sc.ExecParallelism > int64(run.Jobs) {
+					t.Errorf("-j%d %s: exec_parallelism=%d, want 1..%d",
+						run.Jobs, sc.Name, sc.ExecParallelism, run.Jobs)
 				}
 				if sc.Report.Units != 6 {
 					t.Errorf("-j%d %s: units=%d, want 6", run.Jobs, sc.Name, sc.Report.Units)

@@ -1,0 +1,76 @@
+// Differential fuzzing of the two execution engines (DESIGN.md §4j):
+// on any source, the tree walker and the compiled-closure backend must
+// print the same bytes, fail with the same error, and leave the same
+// export values. Step budgets are the one sanctioned divergence — the
+// engines count steps at different granularities — so budget-exceeded
+// runs are skipped, not compared.
+package repro
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/workload"
+)
+
+// execUnder compiles and executes src in a fresh session on the given
+// engine, returning what an observer can distinguish: printed output,
+// the rendered dynamic environment, and the error string ("" = none).
+func execUnder(engine interp.Engine, src string) (stdout, exports, errStr string) {
+	var out strings.Builder
+	s, err := compiler.NewSessionWith(&out, engine)
+	if err != nil {
+		return "", "", "session: " + err.Error()
+	}
+	// Bound divergence. Kept small so the deepest budget-respecting
+	// recursion stays far from the Go stack limit.
+	s.Machine.MaxSteps = 200_000
+	if _, err := s.Run("fuzz.sml", src); err != nil {
+		return out.String(), "", err.Error()
+	}
+	pids := s.Dyn.Pids()
+	lines := make([]string, 0, len(pids))
+	for _, p := range pids {
+		v, ok := s.Dyn.Lookup(p)
+		if !ok {
+			continue
+		}
+		lines = append(lines, p.String()+"="+interp.String(v))
+	}
+	sort.Strings(lines)
+	return out.String(), strings.Join(lines, "\n"), ""
+}
+
+func FuzzExecTreeVsClosure(f *testing.F) {
+	f.Add("val x = 1 + 2")
+	f.Add("fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\nval r = fib 12")
+	f.Add("val _ = print \"hello\\n\" val _ = print (Int.toString 42)")
+	f.Add("exception Boom of int\nval r = (raise Boom 7) handle Boom n => n")
+	f.Add("val xs = map (fn x => x * x) [1, 2, 3]")
+	f.Add("val d = 1 div 0")
+	f.Add("val v = (100000000000000000 * 100000) handle Overflow => 0")
+	f.Add("fun loop n = loop (n + 1)\nval _ = loop 0")
+	f.Add("datatype t = A | B of int\nfun show A = \"A\" | show (B n) = Int.toString n\nval s = show (B 3) ^ show A")
+	for _, file := range workload.Generate(workload.Small()).Files {
+		f.Add(file.Source)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tOut, tExp, tErr := execUnder(interp.EngineTree, src)
+		cOut, cExp, cErr := execUnder(interp.EngineClosure, src)
+		if strings.Contains(tErr, "step budget") || strings.Contains(cErr, "step budget") {
+			t.Skip("step budget reached; step granularity is engine-specific")
+		}
+		if tErr != cErr {
+			t.Fatalf("error mismatch:\ntree:    %q\nclosure: %q\nsource:\n%s", tErr, cErr, src)
+		}
+		if tOut != cOut {
+			t.Fatalf("output mismatch:\ntree:    %q\nclosure: %q\nsource:\n%s", tOut, cOut, src)
+		}
+		if tExp != cExp {
+			t.Fatalf("export mismatch:\ntree:\n%s\nclosure:\n%s\nsource:\n%s", tExp, cExp, src)
+		}
+	})
+}

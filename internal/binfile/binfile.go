@@ -19,11 +19,13 @@ package binfile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 
 	"repro/internal/compiler"
 	"repro/internal/env"
+	"repro/internal/interp"
 	"repro/internal/lambda"
 	"repro/internal/obs"
 	"repro/internal/pickle"
@@ -31,7 +33,31 @@ import (
 )
 
 // Magic identifies bin files; the trailing digits version the format.
-const Magic = "SMLBIN01"
+// V2 appends a code section after the lambda segment — the compiled
+// engine's slot layout (uvarint length prefix, then the stream
+// interp.CompileFn produced) — so warm builds rebuild the closure form
+// without re-resolving the term. The section does not feed the
+// intrinsic-pid hash, so pids are identical to V1 by construction.
+const (
+	Magic   = "SMLBIN02"
+	MagicV1 = "SMLBIN01"
+)
+
+// magicVersion reports the format version of data (2, 1, or 0 for not
+// a bin file). Both constants are the same length, so one prefix test
+// each suffices.
+func magicVersion(data []byte) int {
+	if len(data) < len(Magic) {
+		return 0
+	}
+	switch string(data[:len(Magic)]) {
+	case Magic:
+		return 2
+	case MagicV1:
+		return 1
+	}
+	return 0
+}
 
 // Write serializes a compiled unit.
 func Write(w io.Writer, u *compiler.Unit) error {
@@ -43,21 +69,35 @@ func Write(w io.Writer, u *compiler.Unit) error {
 	return err
 }
 
-// Encode serializes a compiled unit to bytes.
+// Encode serializes a compiled unit to bytes (always format V2).
 //
 // When the unit carries the canonical pickle of its export environment
 // (compiler.Compile's fused hash+pickle traversal), the environment
 // segment is derived from it by patching the recorded provisional-
 // stamp sites with permanent stamps — no second traversal. The output
 // is byte-identical to the slow path either way (the golden invariant
-// of DESIGN.md §4f, pinned by TestBinfileGolden).
+// of DESIGN.md §4f, pinned by TestBinfileGolden). The code section
+// comes from the unit's compile (CodeBytes); a unit built without one
+// (hand-constructed, or loaded from a V1 bin) gets its layout computed
+// here, so every written bin carries the section — and because the
+// layout is a pure function of the term, Encode's output is identical
+// whichever exec engine the build ran on.
 func Encode(u *compiler.Unit) ([]byte, error) {
+	code := u.CodeBytes
+	if code == nil {
+		_, cb, err := interp.CompileFn(u.Code)
+		if err != nil {
+			return nil, fmt.Errorf("binfile: write %s: code generation: %v", u.Name, err)
+		}
+		code = cb
+	}
+
 	p := pickle.NewPickler(u.StatPid)
 	p.Header(u.Name, u.StatPid, u.Imports, u.NumSlots)
 	header := p.Bytes()
 
 	if ep := u.EnvPickle; ep != nil {
-		out := make([]byte, 0, len(Magic)+len(header)+ep.PermanentSize(u.StatPid)+512)
+		out := make([]byte, 0, len(Magic)+len(header)+ep.PermanentSize(u.StatPid)+len(code)+512)
 		out = append(out, Magic...)
 		out = append(out, header...)
 		out = ep.AppendPermanent(out, u.StatPid)
@@ -66,7 +106,8 @@ func Encode(u *compiler.Unit) ([]byte, error) {
 		if err := lp.Err(); err != nil {
 			return nil, fmt.Errorf("binfile: write %s: %v", u.Name, err)
 		}
-		return append(out, lp.Bytes()...), nil
+		out = append(out, lp.Bytes()...)
+		return appendCodeSection(out, code), nil
 	}
 
 	p.Env(u.Env)
@@ -74,9 +115,15 @@ func Encode(u *compiler.Unit) ([]byte, error) {
 	if err := p.Err(); err != nil {
 		return nil, fmt.Errorf("binfile: write %s: %v", u.Name, err)
 	}
-	out := make([]byte, 0, len(Magic)+len(p.Bytes()))
+	out := make([]byte, 0, len(Magic)+len(p.Bytes())+binary.MaxVarintLen64+len(code))
 	out = append(out, Magic...)
-	return append(out, p.Bytes()...), nil
+	out = append(out, p.Bytes()...)
+	return appendCodeSection(out, code), nil
+}
+
+func appendCodeSection(out, code []byte) []byte {
+	out = binary.AppendUvarint(out, uint64(len(code)))
+	return append(out, code...)
 }
 
 // EncodeObserved is Encode with byte and failure accounting on rec
@@ -127,8 +174,16 @@ func Read(data []byte, ix *pickle.Index) (*compiler.Unit, error) {
 // exactly interface identity; the code segment, which a cutoff
 // recompilation may change without moving the pid, is always decoded
 // from the bytes at hand.
+//
+// A V2 bin's code section is loaded into the unit's compiled form
+// (counter code.loads) with every coordinate validated against the
+// term; a section that fails validation (counter code.load_errors)
+// fails the read, which the store layer treats like any other corrupt
+// entry — quarantine and recompile. A V1 bin simply leaves Prog nil;
+// the exec phase compiles on demand.
 func ReadCached(data []byte, ix *pickle.Index, cache *pickle.EnvCache, rec obs.Recorder) (*compiler.Unit, error) {
-	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+	version := magicVersion(data)
+	if version == 0 {
 		return nil, fmt.Errorf("binfile: bad magic")
 	}
 	stream := data[len(Magic):]
@@ -175,22 +230,44 @@ func ReadCached(data []byte, ix *pickle.Index, cache *pickle.EnvCache, rec obs.R
 	if !ok {
 		return nil, fmt.Errorf("binfile: read %s: code is not a function", name)
 	}
+
+	var prog *interp.CompiledFn
+	var codeBytes []byte
+	if version >= 2 {
+		rest := stream[u.Pos():]
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) != n {
+			obs.Count(rec, "code.load_errors", 1)
+			return nil, fmt.Errorf("binfile: read %s: malformed code section", name)
+		}
+		codeBytes = rest[k:]
+		var lerr error
+		prog, lerr = interp.LoadFn(fn, codeBytes)
+		if lerr != nil {
+			obs.Count(rec, "code.load_errors", 1)
+			return nil, fmt.Errorf("binfile: read %s: %v", name, lerr)
+		}
+		obs.Count(rec, "code.loads", 1)
+	}
+
 	return &compiler.Unit{
-		Name:     name,
-		StatPid:  statPid,
-		Env:      envLayer,
-		Code:     fn,
-		Imports:  imports,
-		NumSlots: numSlots,
-		Frag:     frag,
+		Name:      name,
+		StatPid:   statPid,
+		Env:       envLayer,
+		Code:      fn,
+		Imports:   imports,
+		NumSlots:  numSlots,
+		Frag:      frag,
+		Prog:      prog,
+		CodeBytes: codeBytes,
 	}, nil
 }
 
 // ReadHeader decodes only the header (name, static pid, imports,
 // export count), for dependency checks that need not rehydrate the
-// environment.
+// environment. Both format versions are accepted.
 func ReadHeader(data []byte) (name string, statPid pid.Pid, imports []pid.Pid, numSlots int, err error) {
-	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+	if magicVersion(data) == 0 {
 		return "", pid.Zero, nil, 0, fmt.Errorf("binfile: bad magic")
 	}
 	u := pickle.NewUnpickler(data[len(Magic):], pickle.NewIndex())

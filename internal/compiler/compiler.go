@@ -71,6 +71,20 @@ type Unit struct {
 	// inside Compile, kept separately attributable for the §6
 	// overhead measurement (counter time.hash_ns).
 	HashTime time.Duration
+
+	// Prog is Code in compiled form (interp.CompileFn): the closure
+	// tree the default exec engine applies. Compile always sets it;
+	// V2 bin reads rebuild it from CodeBytes; V1 reads leave it nil
+	// and ExecuteOn compiles on demand.
+	Prog *interp.CompiledFn
+	// CodeBytes is the serialized slot layout of Prog — the bin
+	// file's code section (binfile V2). It does not feed StatPid:
+	// the intrinsic pid covers only the canonical env pickle, so
+	// pids are identical whatever the engine.
+	CodeBytes []byte
+	// CodeTime is the duration of the closure compilation inside
+	// Compile (counter code.compile_ns).
+	CodeTime time.Duration
 }
 
 // ExportPid returns the dynamic pid of export slot i (§5: "derived from
@@ -140,6 +154,17 @@ func Compile(name, source string, context *env.Env) (*Unit, error) {
 		}
 	}
 
+	// Compile the closed code to the closure form (§3: the codeUnit is
+	// compiled code). An elaborated term always resolves — a failure
+	// here is an internal invariant break, reported like any other
+	// compile error rather than panicking the build.
+	t1 := time.Now()
+	prog, codeBytes, cerr := interp.CompileFn(res.Code)
+	if cerr != nil {
+		return nil, &CompileError{Unit: name, Msgs: []string{"code generation: " + cerr.Error()}}
+	}
+	codeDur := time.Since(t1)
+
 	var warnings []string
 	for _, w := range res.Warnings {
 		warnings = append(warnings, w.Error())
@@ -154,6 +179,9 @@ func Compile(name, source string, context *env.Env) (*Unit, error) {
 		Warnings:  warnings,
 		EnvPickle: ep,
 		HashTime:  hashDur,
+		Prog:      prog,
+		CodeBytes: codeBytes,
+		CodeTime:  codeDur,
 	}, nil
 }
 
@@ -200,8 +228,21 @@ func Execute(m *interp.Machine, u *Unit, dyn *dynenv.Env) error {
 // it exactly Execute; both are safe independently.
 func ExecuteObserved(m *interp.Machine, u *Unit, dyn *dynenv.Env,
 	parent *obs.Span, rec obs.Recorder) error {
+	return ExecuteOn(m, u, dyn, parent, rec, 0)
+}
 
-	espan := parent.Child(obs.CatPhase, "execute").Lane(0).Arg("unit", u.Name)
+// ExecuteOn is ExecuteObserved with an explicit span lane — the
+// parallel exec stage gives each exec worker its own Perfetto track
+// (lane jobs+1..2·jobs; the sequential paths pass 0, the coordinator).
+//
+// The apply sub-phase is where the machine's Engine matters: the tree
+// walker evaluates u.Code to a closure and applies it; the compiled
+// engine applies u.Prog directly (compiling it on demand when a V1 bin
+// left Prog nil — counter code.compiles).
+func ExecuteOn(m *interp.Machine, u *Unit, dyn *dynenv.Env,
+	parent *obs.Span, rec obs.Recorder, lane int) error {
+
+	espan := parent.Child(obs.CatPhase, "execute").Lane(lane).Arg("unit", u.Name)
 	defer espan.End()
 	obs.Count(rec, "exec.units", 1)
 
@@ -222,10 +263,26 @@ func ExecuteObserved(m *interp.Machine, u *Unit, dyn *dynenv.Env,
 
 	aspan := espan.Child(obs.CatPhase, "apply")
 	steps0 := m.Steps
-	closure, err := m.Eval(u.Code, nil)
 	var result interp.Value
-	if err == nil {
-		result, err = m.Apply(closure, imports)
+	var err error
+	if m.Engine == interp.EngineTree {
+		var closure interp.Value
+		closure, err = m.Eval(u.Code, nil)
+		if err == nil {
+			result, err = m.Apply(closure, imports)
+		}
+	} else {
+		prog := u.Prog
+		if prog == nil {
+			prog, _, err = interp.CompileFn(u.Code)
+			obs.Count(rec, "code.compiles", 1)
+			if err == nil {
+				u.Prog = prog
+			}
+		}
+		if err == nil {
+			result, err = m.Apply(&interp.CompiledClosure{Fn: prog}, imports)
+		}
 	}
 	aspan.End()
 	obs.Count(rec, "exec.steps", int64(m.Steps-steps0))

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/depend"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pickle"
 	"repro/internal/pid"
@@ -251,6 +252,11 @@ type Manager struct {
 	// deterministic: identical bin files, Stats, and explain records
 	// (see DESIGN.md §4e).
 	Jobs int
+	// Engine selects the unit-execution backend: the compiled-closure
+	// engine (zero value, the default) or interp.EngineTree, the
+	// -exec=tree escape hatch. Either engine yields identical bins,
+	// pids, Stats, output, and explain records (DESIGN.md §4j).
+	Engine interp.Engine
 	// Stdout receives program output during unit execution.
 	Stdout io.Writer
 	// Log, when non-nil, receives one line per unit describing the
@@ -360,7 +366,7 @@ func (m *Manager) BuildUnder(parent *obs.Span, files []File) (*compiler.Session,
 	}
 
 	sspan := bspan.Child(obs.CatPhase, "session")
-	session, err := compiler.NewSession(m.Stdout)
+	session, err := compiler.NewSessionWith(m.Stdout, m.Engine)
 	sspan.End()
 	if err != nil {
 		return nil, err

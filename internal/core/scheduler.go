@@ -31,6 +31,7 @@
 package core
 
 import (
+	"bytes"
 	"container/heap"
 	"context"
 	"fmt"
@@ -43,7 +44,9 @@ import (
 	"repro/internal/binfile"
 	"repro/internal/compiler"
 	"repro/internal/depend"
+	"repro/internal/dynenv"
 	"repro/internal/env"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pickle"
 	"repro/internal/pid"
@@ -66,7 +69,6 @@ type unitTask struct {
 
 	depRecompiled bool // some direct dep was recompiled this build
 	depAtRisk     bool // some dep (transitively, through loads) recompiled
-	readyAt       time.Time
 }
 
 // unitResult is a worker's output. Nothing in it has touched shared
@@ -86,6 +88,24 @@ type unitResult struct {
 	recompiled bool
 	atRisk     bool
 	err        error // compile/pickle failure; exp.Error is already set
+}
+
+// execDone is the output of one parallel unit execution. Like a
+// unitResult, nothing in it has touched shared observable state: print
+// output went to a private buffer, counters (exec.*, dynenv.*,
+// interp.*) to a private obs.Buffer, and the dynenv writes it made are
+// keyed by this unit's export pids — invisible until something that
+// imports them runs, which the exec DAG order forbids before this
+// unit's own success. The committer replays stdout and flushes the
+// buffer in commit order, so a speculative execution past the failing
+// unit leaves no trace in output, counters, or Stats.
+type execDone struct {
+	idx    int
+	err    error
+	stdout []byte
+	buf    *obs.Buffer
+	steps  uint64
+	ns     int64
 }
 
 // intHeap is a min-heap of topo indexes: the ready queue dispatches
@@ -183,7 +203,20 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range dispatchCh {
+			for {
+				// build.sched.wait_ns is worker idle time: how long this
+				// worker blocked waiting for the scheduler to hand it a
+				// task. Each worker's idle intervals are disjoint, so the
+				// sum over all workers is bounded by jobs × wall (the
+				// invariant TestSchedWaitBound pins); the final wait that
+				// ends with the channel closing is shutdown, not
+				// scheduling, and is not counted.
+				idle0 := time.Now()
+				t, ok := <-dispatchCh
+				if !ok {
+					return
+				}
+				col.Add("build.sched.wait_ns", int64(time.Since(idle0)))
 				if ctx.Err() != nil {
 					// The build already failed: drop queued work. Units
 					// already past this check drain to completion.
@@ -196,23 +229,60 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 						break
 					}
 				}
-				col.Add("build.sched.wait_ns", int64(time.Since(t.readyAt)))
 				resultCh <- m.runUnit(t, lane, gen, bspan, baseCtx, baseIx)
 				inflight.Add(-1)
 			}
 		}()
 	}
+
+	// The exec pool: unit execution, historically serialized on the
+	// committer, runs here the moment a unit's own compile-or-load and
+	// every direct dependency's execution have succeeded — the import
+	// DAG is the only ordering execution needs, because the sharded
+	// dynenv is the one piece of shared state (DESIGN.md §4j). Each
+	// execution runs on a fork of the session machine with private
+	// stdout and counters, on its own span lane (jobs+1..2·jobs).
+	mtpl := session.Machine.Fork()
+	execCh := make(chan *unitResult, n)
+	execResCh := make(chan *execDone, n)
+	var ewg sync.WaitGroup
+	var einflight, emaxPar atomic.Int64
+	for w := 0; w < jobs; w++ {
+		lane := jobs + 1 + w
+		ewg.Add(1)
+		go func() {
+			defer ewg.Done()
+			for res := range execCh {
+				if ctx.Err() != nil {
+					continue
+				}
+				cur := einflight.Add(1)
+				for {
+					mx := emaxPar.Load()
+					if cur <= mx || emaxPar.CompareAndSwap(mx, cur) {
+						break
+					}
+				}
+				execResCh <- runExec(res, mtpl, session.Dyn, lane)
+				einflight.Add(-1)
+			}
+		}()
+	}
+
 	commitIdx := 0
 	defer func() {
 		cancel()
 		close(dispatchCh)
 		wg.Wait()
+		close(execCh)
+		ewg.Wait()
 		// On a fatal abort, in-flight workers drained results that will
 		// never commit; their unit spans would otherwise stay open and
 		// export as still-running to the trace's end. Close every
 		// uncommitted span here so a failing build's -trace/-jsonl
 		// output is as well-formed as a passing one (their buffered
-		// counters are still discarded unflushed).
+		// counters are still discarded unflushed). Exec results need no
+		// span care — each execution's spans end inside ExecuteOn.
 		for drained := false; !drained; {
 			select {
 			case res := <-resultCh:
@@ -227,6 +297,7 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 			}
 		}
 		col.Add("build.parallelism.max", maxPar.Load())
+		col.Add("exec.parallelism.max", emaxPar.Load())
 	}()
 
 	dispatch := func(i int) {
@@ -259,7 +330,6 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 			entry: entries[name], srcHash: srcHashes[name], corrupt: corrupt[name],
 			depNames: depNames, depPids: depPids, depEnvs: depEnvs,
 			depRecompiled: depRecompiled, depAtRisk: depAtRisk,
-			readyAt: time.Now(),
 		}
 	}
 
@@ -270,9 +340,25 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 		}
 	}
 
+	// Exec-stage DAG state: a unit executes once its own worker result
+	// is in (compile/load ok) and every direct dep has executed. Import
+	// values only ever come from direct deps (depend.Analyze edges every
+	// unit to the definers of its free names), so direct-dep exec
+	// ordering is exactly the data dependency execution needs.
+	execWaiting := make([]int, n)
+	for i, info := range order {
+		execWaiting[i] = len(deps[info.Name])
+	}
+	execResults := make([]*execDone, n)
+	execLaunched := make([]bool, n)
+
 	// The first failure in commit order is where the sequential build
 	// would have stopped; nothing past it is dispatched once known.
 	failIdx := n
+	execReady := func(i int) bool {
+		return !execLaunched[i] && i <= failIdx && results[i] != nil &&
+			results[i].err == nil && execWaiting[i] == 0
+	}
 	for commitIdx < n {
 		for ready.Len() > 0 {
 			i := heap.Pop(ready).(int)
@@ -281,34 +367,91 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 			}
 			dispatch(i)
 		}
-		res := <-resultCh
-		i := res.task.idx
-		results[i] = res
-		if res.err != nil {
-			if i < failIdx {
-				failIdx = i
+		for commitIdx < n {
+			res := results[commitIdx]
+			if res == nil {
+				break
 			}
-		} else {
-			name := res.task.info.Name
-			envs[i] = res.unit.Env
-			currentPids[name] = res.unit.StatPid
-			recompiled[name] = res.recompiled
-			atRisk[name] = res.atRisk
-			for _, d := range dependents[i] {
-				waiting[d]--
-				if waiting[d] == 0 {
-					heap.Push(ready, d)
-				}
+			if res.err == nil && execResults[commitIdx] == nil {
+				break // compiled/loaded but not yet executed
 			}
-		}
-		for commitIdx < n && results[commitIdx] != nil {
-			if err := m.commitUnit(results[commitIdx], col, session); err != nil {
+			if err := m.commitUnit(res, execResults[commitIdx], col, session); err != nil {
 				return err
 			}
 			commitIdx++
 		}
+		if commitIdx >= n {
+			break
+		}
+		select {
+		case res := <-resultCh:
+			i := res.task.idx
+			results[i] = res
+			if res.err != nil {
+				if i < failIdx {
+					failIdx = i
+				}
+			} else {
+				name := res.task.info.Name
+				envs[i] = res.unit.Env
+				currentPids[name] = res.unit.StatPid
+				recompiled[name] = res.recompiled
+				atRisk[name] = res.atRisk
+				for _, d := range dependents[i] {
+					waiting[d]--
+					if waiting[d] == 0 {
+						heap.Push(ready, d)
+					}
+				}
+				if execReady(i) {
+					execLaunched[i] = true
+					execCh <- res
+				}
+			}
+		case ed := <-execResCh:
+			i := ed.idx
+			execResults[i] = ed
+			if ed.err != nil {
+				if i < failIdx {
+					failIdx = i
+				}
+			} else {
+				for _, d := range dependents[i] {
+					execWaiting[d]--
+					if execReady(d) {
+						execLaunched[d] = true
+						execCh <- results[d]
+					}
+				}
+			}
+		}
 	}
 	return nil
+}
+
+// runExec executes one unit on an exec worker: a fork of the session
+// machine (shared basis tags, private stdout/steps), a view of the
+// shared dynenv that records into the task's private buffer, and the
+// execute span on this worker's lane under the unit's span. The
+// returned execDone carries everything observable, for commit-order
+// replay.
+func runExec(res *unitResult, mtpl *interp.Machine, dyn *dynenv.Env, lane int) *execDone {
+	buf := obs.NewBuffer()
+	var out bytes.Buffer
+	fork := mtpl.Fork()
+	fork.Stdout = &out
+	fork.Obs = buf
+	view := dyn.View(buf)
+	t0 := time.Now()
+	err := compiler.ExecuteOn(fork, res.unit, view, res.uspan, buf, lane)
+	return &execDone{
+		idx:    res.task.idx,
+		err:    err,
+		stdout: out.Bytes(),
+		buf:    buf,
+		steps:  fork.Steps,
+		ns:     int64(time.Since(t0)),
+	}
 }
 
 // runUnit is the worker half of one unit's turn: decide reuse, then
@@ -414,6 +557,12 @@ func (m *Manager) runUnit(t *unitTask, lane, gen int, bspan *obs.Span,
 		return res
 	}
 	buf.Add("build.compiled", 1)
+	// Closure-compilation accounting (the compiled exec engine's
+	// codegen, DESIGN.md §4j): every fresh compile produced a compiled
+	// form and its bin-file code section.
+	buf.Add("code.compiles", 1)
+	buf.Add("code.compile_ns", int64(u.CodeTime))
+	buf.Add("code.bytes", int64(len(u.CodeBytes)))
 	exp.NewPid = u.StatPid.String()
 	if t.corrupt || binUnreadable {
 		// The unit's cache entry was corrupt and the rebuild
@@ -460,10 +609,11 @@ func (m *Manager) runUnit(t *unitTask, lane, gen int, bspan *obs.Span,
 
 // commitUnit is the sequential half of one unit's turn, applied in
 // topological order: flush the worker's counters, replay its log lines,
-// execute the unit, extend the session, save the bin, and file the
-// unit's explain record — exactly what the legacy in-order loop did
-// after the compile-or-load decision.
-func (m *Manager) commitUnit(res *unitResult, col *obs.Collector,
+// replay the unit's execution (stdout, counters, steps — the execution
+// itself already ran on the exec pool), extend the session, save the
+// bin, and file the unit's explain record — observably exactly what
+// the legacy execute-on-commit loop produced.
+func (m *Manager) commitUnit(res *unitResult, ed *execDone, col *obs.Collector,
 	session *compiler.Session) error {
 
 	t := res.task
@@ -480,19 +630,25 @@ func (m *Manager) commitUnit(res *unitResult, col *obs.Collector,
 		return res.err
 	}
 
-	// The execute phase runs instrumented: an "execute" span (with
-	// imports/apply/bind sub-phases) nests under the unit span on the
-	// coordinator lane, and the exec.*/dynenv.*/interp.* counters land
-	// in the shared collector — all on the committer, in commit order,
-	// so the deltas are identical at every -j.
-	t0 := time.Now()
-	execErr := compiler.ExecuteObserved(session.Machine, res.unit, session.Dyn, uspan, col)
-	col.Add("time.exec_ns", int64(time.Since(t0)))
-	if execErr != nil {
-		exp.Error = execErr.Error()
+	// Replay the execution in commit order: the exec.*, dynenv.*, and
+	// interp.* counters from the execution's private buffer, its print
+	// output, and its step count land here exactly as the sequential
+	// execute-on-commit produced them — a failing execution first
+	// replays what it observed before failing, like a sequential run
+	// that printed then raised. (The execute span and its sub-phases
+	// were created live on the exec worker's lane, nested under the
+	// unit span, and are already ended.)
+	ed.buf.FlushTo(col)
+	col.Add("time.exec_ns", ed.ns)
+	session.Machine.Steps += ed.steps
+	if len(ed.stdout) > 0 && session.Machine.Stdout != nil {
+		session.Machine.Stdout.Write(ed.stdout)
+	}
+	if ed.err != nil {
+		exp.Error = ed.err.Error()
 		col.Explain(exp)
 		uspan.End()
-		return execErr
+		return ed.err
 	}
 	session.Accept(res.unit)
 

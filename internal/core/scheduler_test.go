@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -317,4 +318,35 @@ func TestSchedulerSharedMemStoreManagers(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestSchedWaitBound pins the build.sched.wait_ns accounting contract
+// (DESIGN.md §4d): the counter is worker idle time — how long workers
+// blocked waiting for a dispatch — so each worker contributes at most
+// the build's wall clock, the final wait that ends with pool shutdown
+// is not counted, and the sum is bounded by jobs × wall. A regression
+// that starts counting shutdown waits, or double-counts a worker,
+// breaks the bound immediately.
+func TestSchedWaitBound(t *testing.T) {
+	p := workload.Generate(workload.Config{
+		Shape: workload.Layered, Units: 24, LinesPerUnit: 10,
+		FanIn: 3, Seed: 7,
+	})
+	for _, jobs := range []int{1, 4} {
+		m := &core.Manager{Policy: core.PolicyCutoff, Store: core.NewMemStore(),
+			Stdout: io.Discard, Jobs: jobs}
+		start := time.Now()
+		if _, err := m.Build(p.Files); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		wall := time.Since(start)
+		wait := m.Counters["build.sched.wait_ns"]
+		if wait < 0 {
+			t.Errorf("jobs=%d: wait_ns=%d is negative", jobs, wait)
+		}
+		if bound := int64(jobs) * int64(wall); wait > bound {
+			t.Errorf("jobs=%d: wait_ns=%d exceeds jobs×wall=%d (wall %v)",
+				jobs, wait, bound, wall)
+		}
+	}
 }

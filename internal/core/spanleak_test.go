@@ -101,3 +101,83 @@ func TestFailedBuildTraceValid(t *testing.T) {
 		t.Fatalf("failed build's JSONL export: %v", err)
 	}
 }
+
+// TestExecSpanAudit audits the execute sub-phase instrumentation at
+// both scheduler widths (DESIGN.md §4j): every unit gets exactly one
+// "execute" span carrying the full imports/apply/bind sub-phase set,
+// every one of those spans is closed with a non-negative duration, and
+// the spans sit on the exec pool's lanes (jobs+1..2·jobs) — never on a
+// compile worker's lane, so the Perfetto view keeps compilation and
+// execution on separate tracks.
+func TestExecSpanAudit(t *testing.T) {
+	p := workload.Generate(workload.Small())
+	for _, jobs := range []int{1, 8} {
+		col := obs.New()
+		m := &core.Manager{Policy: core.PolicyCutoff, Store: core.NewMemStore(),
+			Stdout: io.Discard, Obs: col, Jobs: jobs}
+		if _, err := m.Build(p.Files); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		if err := col.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		type span struct {
+			Type   string  `json:"type"`
+			ID     int     `json:"id"`
+			Parent int     `json:"parent"`
+			Name   string  `json:"name"`
+			Lane   int     `json:"lane"`
+			DurUs  float64 `json:"dur_us"`
+		}
+		spans := map[int]span{}
+		children := map[int][]span{}
+		dec := json.NewDecoder(&buf)
+		for dec.More() {
+			var s span
+			if err := dec.Decode(&s); err != nil {
+				t.Fatal(err)
+			}
+			if s.Type != "span" {
+				continue
+			}
+			spans[s.ID] = s
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+		execs := 0
+		for _, s := range spans {
+			if s.Name != "execute" {
+				continue
+			}
+			execs++
+			if s.DurUs < 0 {
+				t.Errorf("jobs=%d: execute span %d has negative duration", jobs, s.ID)
+			}
+			if s.Lane < jobs+1 || s.Lane > 2*jobs {
+				t.Errorf("jobs=%d: execute span %d on lane %d, want exec lane %d..%d",
+					jobs, s.ID, s.Lane, jobs+1, 2*jobs)
+			}
+			sub := map[string]bool{}
+			for _, ch := range children[s.ID] {
+				sub[ch.Name] = true
+				if ch.DurUs < 0 {
+					t.Errorf("jobs=%d: %s sub-span of execute %d has negative duration",
+						jobs, ch.Name, s.ID)
+				}
+				if ch.Lane != s.Lane {
+					t.Errorf("jobs=%d: %s sub-span on lane %d, execute on %d",
+						jobs, ch.Name, ch.Lane, s.Lane)
+				}
+			}
+			for _, want := range []string{"imports", "apply", "bind"} {
+				if !sub[want] {
+					t.Errorf("jobs=%d: execute span %d missing %q sub-phase", jobs, s.ID, want)
+				}
+			}
+		}
+		if execs != len(p.Files) {
+			t.Errorf("jobs=%d: %d execute spans, want one per unit (%d)",
+				jobs, execs, len(p.Files))
+		}
+	}
+}

@@ -4,44 +4,77 @@
 // execution consumes the values of its import pids and binds its export
 // pids — so no global mutable state links compiled units together.
 //
-// Concurrency: an Env is not safe for concurrent mutation. The IRM
-// binds and reads it only from the build's coordinator goroutine —
-// unit execution is serialized in commit order even under a parallel
-// build.
+// Concurrency: an Env is safe for concurrent Bind/Lookup from any
+// number of goroutines — the map is split into shards, each behind its
+// own RWMutex, indexed by the pid's leading hash byte. This is what
+// lets the scheduler execute independent units in parallel: execution
+// order is constrained only by the import DAG, and the dynenv is the
+// single piece of shared state. Views (View) share the shards but not
+// the recorder, so each parallel execution's dynenv.* counters stay in
+// its private buffer until commit. Copy and Pids take every shard lock
+// in turn and are consistent only once concurrent writers are
+// quiesced — which the scheduler's commit ordering guarantees.
 package dynenv
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pid"
 )
 
-// Env is a dynamic environment.
+// shardCount must be a power of two; 16 shards keeps the lock
+// footprint small while making contention between exec workers (at
+// most one per core) unlikely.
+const shardCount = 16
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[pid.Pid]interp.Value
+}
+
+// Env is a dynamic environment. The zero value is not usable; call New.
 type Env struct {
-	m map[pid.Pid]interp.Value
+	shards *[shardCount]shard
 	// Obs, when non-nil, receives the dynenv.* counters (binds,
-	// lookups, misses) — the execute phase's import/export traffic as
-	// data. Copies inherit the recorder.
+	// lookups, misses, views) — the execute phase's import/export
+	// traffic as data. Copies inherit the recorder; Views override it.
 	Obs obs.Recorder
 }
 
 // New returns an empty dynamic environment.
 func New() *Env {
-	return &Env{m: map[pid.Pid]interp.Value{}}
+	var s [shardCount]shard
+	for i := range s {
+		s[i].m = map[pid.Pid]interp.Value{}
+	}
+	return &Env{shards: &s}
+}
+
+// shard picks the shard for p by its leading byte — pids are CRC-128
+// hashes, so the low bits of any byte are uniformly distributed.
+func (d *Env) shard(p pid.Pid) *shard {
+	return &d.shards[p[0]&(shardCount-1)]
 }
 
 // Bind associates a pid with a value, replacing any previous binding.
 func (d *Env) Bind(p pid.Pid, v interp.Value) {
 	obs.Count(d.Obs, "dynenv.binds", 1)
-	d.m[p] = v
+	s := d.shard(p)
+	s.mu.Lock()
+	s.m[p] = v
+	s.mu.Unlock()
 }
 
 // Lookup finds the value bound to p.
 func (d *Env) Lookup(p pid.Pid) (interp.Value, bool) {
-	v, ok := d.m[p]
+	s := d.shard(p)
+	s.mu.RLock()
+	v, ok := s.m[p]
+	s.mu.RUnlock()
 	obs.Count(d.Obs, "dynenv.lookups", 1)
 	if !ok {
 		obs.Count(d.Obs, "dynenv.misses", 1)
@@ -59,7 +92,16 @@ func (d *Env) MustLookup(p pid.Pid) (interp.Value, error) {
 }
 
 // Len reports the number of bindings.
-func (d *Env) Len() int { return len(d.m) }
+func (d *Env) Len() int {
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
 
 // Copy returns an independent copy (dynamic environments compose by
 // copying plus Bind, mirroring the paper's functional composition).
@@ -67,18 +109,40 @@ func (d *Env) Len() int { return len(d.m) }
 func (d *Env) Copy() *Env {
 	out := New()
 	out.Obs = d.Obs
-	for k, v := range d.m {
-		out.m[k] = v
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			out.shards[i].m[k] = v
+		}
+		s.mu.RUnlock()
 	}
 	return out
+}
+
+// View returns an environment sharing d's bindings — reads and writes
+// through the view are reads and writes of d — but reporting its
+// dynenv.* traffic to rec instead of d.Obs. The parallel exec stage
+// hands each unit a view over its per-task buffer, so counters from
+// speculative executions never leak into the build's collector; the
+// committer flushes each buffer in commit order (counter dynenv.views,
+// recorded on rec so the count itself replays deterministically).
+func (d *Env) View(rec obs.Recorder) *Env {
+	obs.Count(rec, "dynenv.views", 1)
+	return &Env{shards: d.shards, Obs: rec}
 }
 
 // Pids returns the bound pids in sorted order (deterministic, for tests
 // and diagnostics).
 func (d *Env) Pids() []pid.Pid {
-	out := make([]pid.Pid, 0, len(d.m))
-	for k := range d.m {
-		out = append(out, k)
+	var out []pid.Pid
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out

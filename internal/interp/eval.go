@@ -69,6 +69,16 @@ type Machine struct {
 	// execution, never inside the evaluation loop — so an observed
 	// machine pays nothing on the hot path.
 	Obs obs.Recorder
+	// Engine selects the backend the execute phase runs unit code
+	// with: the compiled-closure engine (default) or the tree walker
+	// (compile.go). Evaluation itself is engine-agnostic — apply
+	// dispatches on the closure form — so the field only steers how
+	// compiler.ExecuteObserved enters the unit.
+	Engine Engine
+	// framePool recycles non-escaping activation frames (see
+	// CompiledFn.escapes). Per-machine, like the machine itself: never
+	// shared across goroutines, and Fork starts its copy empty.
+	framePool []*Frame
 
 	// Pre-allocated basis exception tags.
 	TagMatch, TagBind, TagDiv, TagOverflow *ExnTag
@@ -296,12 +306,53 @@ func (m *Machine) evalHandle(e *lambda.Handle, env *Env) (result Value) {
 	return m.eval(e.Handler, env.Bind(e.Param, caught))
 }
 
+// apply dispatches on the closure form, so tree-built and compiled
+// values interoperate in either direction. The compiled case counts
+// one step per application (the tree walker counts one per node), so
+// MaxSteps still bounds divergence — any infinite loop in the lambda
+// language recurses through apply.
 func (m *Machine) apply(fn, arg Value) Value {
-	c, ok := fn.(*Closure)
-	if !ok {
-		m.crash("application of non-function %s", String(fn))
+	switch c := fn.(type) {
+	case *CompiledClosure:
+		m.step()
+		cf := c.Fn
+		if !cf.escapes {
+			// Non-escaping frame: recycle through the machine's pool.
+			// An exception unwinding past this call skips the release;
+			// the frame is then simply collected like any other. Slots
+			// are cleared on release, never on reuse — a slot read is
+			// always dominated by a write in the same activation
+			// (binders dominate uses), so stale values are unreachable
+			// and only need dropping for the collector's sake.
+			var fr *Frame
+			if n := len(m.framePool); n > 0 {
+				fr = m.framePool[n-1]
+				m.framePool = m.framePool[:n-1]
+				fr.up = c.Env
+				if cf.NSlots <= cap(fr.slots) {
+					fr.slots = fr.slots[:cf.NSlots]
+				} else {
+					fr.slots = make([]Value, cf.NSlots)
+				}
+			} else {
+				fr = newFrame(c.Env, cf.NSlots)
+			}
+			fr.slots[0] = arg
+			v := cf.body(m, fr)
+			fr.up = nil
+			for i := range fr.slots {
+				fr.slots[i] = nil
+			}
+			m.framePool = append(m.framePool, fr)
+			return v
+		}
+		fr := newFrame(c.Env, cf.NSlots)
+		fr.slots[0] = arg
+		return cf.body(m, fr)
+	case *Closure:
+		return m.eval(c.Body, c.Env.Bind(c.Param, arg))
 	}
-	return m.eval(c.Body, c.Env.Bind(c.Param, arg))
+	return m.crash("application of non-function %s", String(fn))
 }
 
 func (m *Machine) evalSwitch(e *lambda.Switch, env *Env) Value {

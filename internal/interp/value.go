@@ -89,13 +89,22 @@ func (*ExnV) isValue()    {}
 // Unit is the unit value.
 func Unit() Value { return RecordV(nil) }
 
+// Shared booleans: nullary ConVs are immutable and compared
+// structurally, so one value per truth value is observationally
+// identical to a fresh one — and comparison-heavy loops allocate
+// nothing.
+var (
+	trueV  Value = &ConV{Tag: 1, Name: "true"}
+	falseV Value = &ConV{Tag: 0, Name: "false"}
+)
+
 // Bool converts a Go bool to the ML bool representation (datatype
 // bool = false | true, tags 0 and 1).
 func Bool(b bool) Value {
 	if b {
-		return &ConV{Tag: 1, Name: "true"}
+		return trueV
 	}
-	return &ConV{Tag: 0, Name: "false"}
+	return falseV
 }
 
 // Truth reports whether v is the ML true value.
@@ -263,6 +272,8 @@ func writeValue(sb *strings.Builder, v Value, depth int) {
 			writeValue(sb, v.Arg, depth+1)
 		}
 	case *Closure:
+		sb.WriteString("fn")
+	case *CompiledClosure:
 		sb.WriteString("fn")
 	case *RefV:
 		sb.WriteString("ref ")

@@ -41,9 +41,14 @@ type REPL struct {
 }
 
 // New builds a REPL with a fresh session; program output (print) goes
-// to stdout.
+// to stdout. Inputs run on the default compiled-closure engine.
 func New(stdout io.Writer) (*REPL, error) {
-	s, err := compiler.NewSession(stdout)
+	return NewWith(stdout, interp.EngineClosure)
+}
+
+// NewWith is New on an explicit exec engine (the smlrepl -exec flag).
+func NewWith(stdout io.Writer, engine interp.Engine) (*REPL, error) {
+	s, err := compiler.NewSessionWith(stdout, engine)
 	if err != nil {
 		return nil, err
 	}

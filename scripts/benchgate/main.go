@@ -68,7 +68,7 @@ func parseBench(path string) (map[string]float64, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression, percent")
-	match := flag.String("match", `Pipeline(Hash|Pickle|Rehydrate)`,
+	match := flag.String("match", `Pipeline(Hash|Pickle|Rehydrate)|Exec(Cold|Warm)|ApplyHot`,
 		"regexp selecting which benchmarks gate the build")
 	flag.Parse()
 	if flag.NArg() != 2 {
