@@ -233,13 +233,17 @@ func ExecuteObserved(m *interp.Machine, u *Unit, dyn *dynenv.Env,
 
 // ExecuteOn is ExecuteObserved with an explicit span lane — the
 // parallel exec stage gives each exec worker its own Perfetto track
-// (lane jobs+1..2·jobs; the sequential paths pass 0, the coordinator).
+// (lane jobs+1..2·jobs; the sequential paths pass 0, the coordinator)
+// — and a dynenv.Target instead of a concrete env: the sequential
+// paths pass the session env itself (binds commit directly), the
+// parallel exec stage a copy-on-write dynenv.View whose binds the
+// committer replays in commit order (DESIGN.md §4j).
 //
 // The apply sub-phase is where the machine's Engine matters: the tree
 // walker evaluates u.Code to a closure and applies it; the compiled
 // engine applies u.Prog directly (compiling it on demand when a V1 bin
 // left Prog nil — counter code.compiles).
-func ExecuteOn(m *interp.Machine, u *Unit, dyn *dynenv.Env,
+func ExecuteOn(m *interp.Machine, u *Unit, dyn dynenv.Target,
 	parent *obs.Span, rec obs.Recorder, lane int) error {
 
 	espan := parent.Child(obs.CatPhase, "execute").Lane(lane).Arg("unit", u.Name)

@@ -270,6 +270,15 @@ type Manager struct {
 	// Overlapping Builds must not share one collector (their per-build
 	// counter deltas would mix); concurrent managers get one each.
 	Obs *obs.Collector
+	// MaxSteps, when non-zero, bounds the session's evaluation steps:
+	// each unit execution is individually limited to MaxSteps (its
+	// machine fork crashes with "step budget exceeded" past it), and
+	// the cumulative session total is enforced at commit — the build
+	// fails on the unit whose execution pushes the total over, the
+	// same unit a sequential run would have died inside (DESIGN.md
+	// §4j). Step granularity is engine-specific (tree: per node;
+	// closure: per application).
+	MaxSteps uint64
 	// EnvCache, when non-nil, overrides the process-wide rehydration
 	// cache (pickle.SharedEnvCache) for this manager's bin reads. Set
 	// it to pickle.NewEnvCache(-1) to disable caching (cold-path
@@ -377,6 +386,9 @@ func (m *Manager) BuildUnder(parent *obs.Span, files []File) (*compiler.Session,
 	// cover exactly this build's units.
 	session.Dyn.Obs = col
 	session.Machine.Obs = col
+	// Attached after the prelude bootstrap, like the recorders: the
+	// budget covers the build's units, not the prelude.
+	session.Machine.MaxSteps = m.MaxSteps
 
 	// Phase 1: per-file dependency info, re-parsing only changed files.
 	scan := bspan.Child(obs.CatPhase, "scan")

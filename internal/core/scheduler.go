@@ -20,8 +20,13 @@
 //     flushes each buffer in commit order, so the final Stats are the
 //     sums the sequential build would have produced — speculative work
 //     past a failed unit is discarded unflushed and leaves no trace.
-//   - Explain records, log lines, store writes, and execution all
-//     happen on the committer in topological order.
+//   - Unit execution runs on a second pool ordered by the import DAG
+//     plus the §4j mutable-import rule (units whose imports reach a
+//     ref or array run in commit order), against copy-on-write dynenv
+//     views whose binds only the committer publishes.
+//   - Explain records, log lines, store writes, dynenv publication,
+//     and stdout replay all happen on the committer in topological
+//     order.
 //
 // Error semantics: the first failure in *commit order* (the same unit
 // the sequential build would have failed on) aborts the build. Units
@@ -88,22 +93,31 @@ type unitResult struct {
 	recompiled bool
 	atRisk     bool
 	err        error // compile/pickle failure; exp.Error is already set
+
+	// taintKnown/tainted: the §4j mutable-import verdict, computed by
+	// the scheduler goroutine once every dependency has executed. A
+	// tainted unit's execution is serialized in commit order (counter
+	// exec.serialized, emitted at commit so it is -j-invariant).
+	taintKnown bool
+	tainted    bool
 }
 
 // execDone is the output of one parallel unit execution. Like a
 // unitResult, nothing in it has touched shared observable state: print
 // output went to a private buffer, counters (exec.*, dynenv.*,
-// interp.*) to a private obs.Buffer, and the dynenv writes it made are
-// keyed by this unit's export pids — invisible until something that
-// imports them runs, which the exec DAG order forbids before this
-// unit's own success. The committer replays stdout and flushes the
-// buffer in commit order, so a speculative execution past the failing
-// unit leaves no trace in output, counters, or Stats.
+// interp.*) to a private obs.Buffer, and the dynenv binds it made went
+// to the build's pending overlay (visible to dependent executions,
+// which the exec DAG orders after this unit) plus the binds replay log
+// — never to the session env. The committer replays stdout, flushes
+// the buffer, and commits the binds in commit order, so a speculative
+// execution past the failing unit leaves no trace in output, counters,
+// Stats, or the session's dynamic environment.
 type execDone struct {
 	idx    int
 	err    error
 	stdout []byte
 	buf    *obs.Buffer
+	binds  []dynenv.Binding
 	steps  uint64
 	ns     int64
 }
@@ -238,11 +252,15 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 	// The exec pool: unit execution, historically serialized on the
 	// committer, runs here the moment a unit's own compile-or-load and
 	// every direct dependency's execution have succeeded — the import
-	// DAG is the only ordering execution needs, because the sharded
-	// dynenv is the one piece of shared state (DESIGN.md §4j). Each
-	// execution runs on a fork of the session machine with private
-	// stdout and counters, on its own span lane (jobs+1..2·jobs).
+	// DAG is the ordering a unit's *data* needs, and the §4j mutable-
+	// import rule below adds the ordering shared mutable state needs.
+	// Each execution runs on a fork of the session machine with private
+	// stdout and counters, against a copy-on-write view of the dynenv
+	// (binds land in the build's pending overlay, committed — or, past
+	// a failure, discarded — in commit order), on its own span lane
+	// (jobs+1..2·jobs).
 	mtpl := session.Machine.Fork()
+	pending := dynenv.New()
 	execCh := make(chan *unitResult, n)
 	execResCh := make(chan *execDone, n)
 	var ewg sync.WaitGroup
@@ -263,7 +281,7 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 						break
 					}
 				}
-				execResCh <- runExec(res, mtpl, session.Dyn, lane)
+				execResCh <- runExec(res, mtpl, session.Dyn, pending, lane)
 				einflight.Add(-1)
 			}
 		}()
@@ -344,7 +362,8 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 	// is in (compile/load ok) and every direct dep has executed. Import
 	// values only ever come from direct deps (depend.Analyze edges every
 	// unit to the definers of its free names), so direct-dep exec
-	// ordering is exactly the data dependency execution needs.
+	// ordering is the data dependency execution needs — for immutable
+	// values.
 	execWaiting := make([]int, n)
 	for i, info := range order {
 		execWaiting[i] = len(deps[info.Name])
@@ -352,12 +371,79 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 	execResults := make([]*execDone, n)
 	execLaunched := make([]bool, n)
 
+	// The mutable-import rule (DESIGN.md §4j): a ref or array exported
+	// by a common ancestor is shared mutable state two units with no
+	// path between them can both read and write, so their executions
+	// must happen in commit order — for memory safety (assign/aupdate
+	// are unsynchronized) and because the interleaving is observable. A
+	// unit is *tainted* when any of its import values can reach a
+	// mutable cell. Every reader or writer of cross-unit mutable state
+	// is tainted — a cell created elsewhere is only reachable through
+	// the import vector — so serializing each tainted unit after all
+	// earlier executions reproduces the sequential interleaving
+	// exactly, while pure units (the overwhelmingly common case) keep
+	// the full exec-DAG parallelism. The scan (interp.ReachesMutable)
+	// stops at the first cell without reading through it, so it races
+	// with no concurrent execution; its verdict is immutable, so it is
+	// memoized per pid. Taint is a function of the value graphs alone,
+	// never of scheduling, so the serialization decision — and the
+	// exec.serialized counter the committer emits for it — is
+	// deterministic across -j.
+	mutByPid := make(map[pid.Pid]bool)
+	reachesMut := func(p pid.Pid) bool {
+		if t, ok := mutByPid[p]; ok {
+			return t
+		}
+		v, ok := pending.Peek(p)
+		if !ok {
+			v, ok = session.Dyn.Peek(p)
+		}
+		t := ok && interp.ReachesMutable(v)
+		mutByPid[p] = t
+		return t
+	}
+	// execPrefix is the length of the fully-executed prefix of the
+	// commit order; a tainted unit launches only at the prefix boundary
+	// (every earlier unit has executed — so every earlier tainted unit
+	// has finished, and every later one waits for it in turn).
+	// execBlocked holds tainted units parked until then.
+	execPrefix := 0
+	execBlocked := &intHeap{}
+	execParked := make([]bool, n)
+
 	// The first failure in commit order is where the sequential build
 	// would have stopped; nothing past it is dispatched once known.
 	failIdx := n
 	execReady := func(i int) bool {
 		return !execLaunched[i] && i <= failIdx && results[i] != nil &&
 			results[i].err == nil && execWaiting[i] == 0
+	}
+	tryExec := func(i int) {
+		if !execReady(i) {
+			return
+		}
+		res := results[i]
+		if !res.taintKnown {
+			// Deps have all executed (execWaiting is 0), so every
+			// import value is present in the pending overlay or the
+			// session env.
+			res.taintKnown = true
+			for _, p := range res.unit.Imports {
+				if reachesMut(p) {
+					res.tainted = true
+					break
+				}
+			}
+		}
+		if res.tainted && execPrefix < i {
+			if !execParked[i] {
+				execParked[i] = true
+				heap.Push(execBlocked, i)
+			}
+			return
+		}
+		execLaunched[i] = true
+		execCh <- res
 	}
 	for commitIdx < n {
 		for ready.Len() > 0 {
@@ -403,14 +489,14 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 						heap.Push(ready, d)
 					}
 				}
-				if execReady(i) {
-					execLaunched[i] = true
-					execCh <- res
-				}
+				tryExec(i)
 			}
 		case ed := <-execResCh:
 			i := ed.idx
 			execResults[i] = ed
+			for execPrefix < n && execResults[execPrefix] != nil {
+				execPrefix++
+			}
 			if ed.err != nil {
 				if i < failIdx {
 					failIdx = i
@@ -418,11 +504,14 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 			} else {
 				for _, d := range dependents[i] {
 					execWaiting[d]--
-					if execReady(d) {
-						execLaunched[d] = true
-						execCh <- results[d]
-					}
+					tryExec(d)
 				}
+			}
+			// The prefix advanced: any parked tainted unit at its
+			// boundary may now run (tryExec re-checks readiness, so a
+			// unit parked past a newly-discovered failure stays dead).
+			for execBlocked.Len() > 0 && (*execBlocked)[0] <= execPrefix {
+				tryExec(heap.Pop(execBlocked).(int))
 			}
 		}
 	}
@@ -430,18 +519,21 @@ func (m *Manager) schedule(col *obs.Collector, gen int, bspan *obs.Span,
 }
 
 // runExec executes one unit on an exec worker: a fork of the session
-// machine (shared basis tags, private stdout/steps), a view of the
-// shared dynenv that records into the task's private buffer, and the
-// execute span on this worker's lane under the unit's span. The
-// returned execDone carries everything observable, for commit-order
-// replay.
-func runExec(res *unitResult, mtpl *interp.Machine, dyn *dynenv.Env, lane int) *execDone {
+// machine (shared basis tags, private stdout/steps, a per-unit step
+// budget — MaxSteps bounds each execution; the committer enforces the
+// cumulative session budget at commit, §4j), a copy-on-write view of
+// the dynenv that binds into the build's pending overlay and records
+// into the task's private buffer, and the execute span on this
+// worker's lane under the unit's span. The returned execDone carries
+// everything observable — stdout, counters, export binds — for
+// commit-order replay.
+func runExec(res *unitResult, mtpl *interp.Machine, dyn, pending *dynenv.Env, lane int) *execDone {
 	buf := obs.NewBuffer()
 	var out bytes.Buffer
 	fork := mtpl.Fork()
 	fork.Stdout = &out
 	fork.Obs = buf
-	view := dyn.View(buf)
+	view := dyn.View(pending, buf)
 	t0 := time.Now()
 	err := compiler.ExecuteOn(fork, res.unit, view, res.uspan, buf, lane)
 	return &execDone{
@@ -449,6 +541,7 @@ func runExec(res *unitResult, mtpl *interp.Machine, dyn *dynenv.Env, lane int) *
 		err:    err,
 		stdout: out.Bytes(),
 		buf:    buf,
+		binds:  view.Binds(),
 		steps:  fork.Steps,
 		ns:     int64(time.Since(t0)),
 	}
@@ -632,13 +725,17 @@ func (m *Manager) commitUnit(res *unitResult, ed *execDone, col *obs.Collector,
 
 	// Replay the execution in commit order: the exec.*, dynenv.*, and
 	// interp.* counters from the execution's private buffer, its print
-	// output, and its step count land here exactly as the sequential
-	// execute-on-commit produced them — a failing execution first
-	// replays what it observed before failing, like a sequential run
-	// that printed then raised. (The execute span and its sub-phases
-	// were created live on the exec worker's lane, nested under the
-	// unit span, and are already ended.)
+	// output, its step count, and its export binds land here exactly as
+	// the sequential execute-on-commit produced them — a failing
+	// execution first replays what it observed before failing, like a
+	// sequential run that printed then raised, and binds nothing. (The
+	// execute span and its sub-phases were created live on the exec
+	// worker's lane, nested under the unit span, and are already
+	// ended.)
 	ed.buf.FlushTo(col)
+	if res.tainted {
+		col.Add("exec.serialized", 1)
+	}
 	col.Add("time.exec_ns", ed.ns)
 	session.Machine.Steps += ed.steps
 	if len(ed.stdout) > 0 && session.Machine.Stdout != nil {
@@ -650,6 +747,21 @@ func (m *Manager) commitUnit(res *unitResult, ed *execDone, col *obs.Collector,
 		uspan.End()
 		return ed.err
 	}
+	// The session-wide step budget is enforced here, at unit
+	// granularity: each parallel execution is individually bounded by
+	// MaxSteps on its fork, and the unit whose steps push the session
+	// total over the budget fails at its commit — the same unit a
+	// sequential run would have died inside (§4j documents the
+	// granularity difference).
+	if ms := session.Machine.MaxSteps; ms != 0 && session.Machine.Steps > ms {
+		err := fmt.Errorf("execute %s: step budget exceeded (session total %d > %d)",
+			name, session.Machine.Steps, ms)
+		exp.Error = err.Error()
+		col.Explain(exp)
+		uspan.End()
+		return err
+	}
+	session.Dyn.Commit(ed.binds)
 	session.Accept(res.unit)
 
 	if res.action == obs.ActionLoaded {

@@ -1,0 +1,115 @@
+package interp
+
+// ReachesMutable reports whether v can reach a mutable cell — a ref or
+// an array — through immutable structure: records, vectors, constructor
+// arguments, exception payloads, and closure captures (both engines'
+// environment representations). The parallel exec scheduler uses it to
+// decide whether a unit's imports expose shared mutable state, in which
+// case the unit's execution must be serialized in commit order
+// (DESIGN.md §4j).
+//
+// The walk stops *at* a ref or array without reading through it
+// (RefV.Cell and ArrV.Elems are never dereferenced), so it touches only
+// memory that is immutable once a value has escaped its creating
+// execution: record/vector spines, constructor cells, environment
+// links, and the activation frames of completed calls. That makes the
+// scan safe to run concurrently with executions that mutate cells —
+// everything behind the first mutable boundary is exactly what they
+// mutate, and exactly what the scan never visits.
+//
+// The verdict is stable: a value from which no mutable cell is
+// reachable is hereditarily immutable, so no later mutation anywhere
+// can change the answer. Callers may therefore memoize it (the
+// scheduler memoizes per import pid).
+func ReachesMutable(v Value) bool {
+	s := mutScan{}
+	return s.value(v)
+}
+
+// mutScan carries the visited set: pointer-identity nodes (constructor
+// cells, closures, env links, frames) are visited once, which both
+// bounds shared-structure walks and terminates the cycles recursive
+// closures create through their own environments.
+type mutScan struct {
+	seen map[any]bool
+}
+
+func (s *mutScan) visited(node any) bool {
+	if s.seen[node] {
+		return true
+	}
+	if s.seen == nil {
+		s.seen = make(map[any]bool)
+	}
+	s.seen[node] = true
+	return false
+}
+
+func (s *mutScan) value(v Value) bool {
+	switch v := v.(type) {
+	case *RefV:
+		return v != nil
+	case *ArrV:
+		return v != nil
+	case RecordV:
+		for _, e := range v {
+			if s.value(e) {
+				return true
+			}
+		}
+	case VecV:
+		for _, e := range v {
+			if s.value(e) {
+				return true
+			}
+		}
+	case *ConV:
+		if v == nil || v.Arg == nil || s.visited(v) {
+			return false
+		}
+		return s.value(v.Arg)
+	case *ExnV:
+		if v == nil || v.Arg == nil {
+			return false
+		}
+		return s.value(v.Arg)
+	case *Closure:
+		if v == nil || s.visited(v) {
+			return false
+		}
+		return s.env(v.Env)
+	case *CompiledClosure:
+		if v == nil || s.visited(v) {
+			return false
+		}
+		return s.frame(v.Env)
+	}
+	// Scalars, exception tags, nil: hereditarily immutable.
+	return false
+}
+
+func (s *mutScan) env(e *Env) bool {
+	for ; e != nil; e = e.next {
+		if s.visited(e) {
+			return false
+		}
+		if e.v != nil && s.value(e.v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *mutScan) frame(f *Frame) bool {
+	for ; f != nil; f = f.up {
+		if s.visited(f) {
+			return false
+		}
+		for _, v := range f.slots {
+			if v != nil && s.value(v) {
+				return true
+			}
+		}
+	}
+	return false
+}

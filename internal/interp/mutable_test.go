@@ -1,0 +1,120 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/lambda"
+)
+
+func TestReachesMutableImmutable(t *testing.T) {
+	immutable := []Value{
+		nil,
+		IntV(1),
+		WordV(2),
+		RealV(3.0),
+		StrV("s"),
+		CharV('c'),
+		Unit(),
+		Bool(true),
+		VecV{IntV(1), StrV("x")},
+		RecordV{IntV(1), RecordV{StrV("nested")}},
+		List([]Value{IntV(1), IntV(2), IntV(3)}),
+		&ExnTag{Name: "E"},
+		&ExnV{Tag: &ExnTag{Name: "E"}, Arg: IntV(7)},
+		&ConV{Tag: 1, Name: "SOME", Arg: StrV("v")},
+	}
+	for _, v := range immutable {
+		if ReachesMutable(v) {
+			t.Errorf("ReachesMutable(%v) = true, want false", String(v))
+		}
+	}
+}
+
+func TestReachesMutableCells(t *testing.T) {
+	r := &RefV{Cell: IntV(0)}
+	a := &ArrV{Elems: []Value{IntV(1)}}
+	cases := []Value{
+		r,
+		a,
+		RecordV{IntV(1), r},
+		VecV{a},
+		&ConV{Tag: 1, Name: "SOME", Arg: r},
+		List([]Value{IntV(1), r}),
+		&ExnV{Tag: &ExnTag{Name: "E"}, Arg: a},
+	}
+	for _, v := range cases {
+		if !ReachesMutable(v) {
+			t.Errorf("ReachesMutable(%v) = false, want true", String(v))
+		}
+	}
+}
+
+// A closure capturing a ref in its environment is reachable mutable
+// state — applying it can read or write the cell — for both engine
+// representations.
+func TestReachesMutableThroughClosures(t *testing.T) {
+	r := &RefV{Cell: IntV(0)}
+
+	var env *Env
+	env = env.Bind(lambda.LVar(1), IntV(1))
+	pure := &Closure{Body: &lambda.Int{Val: 0}, Env: env}
+	if ReachesMutable(pure) {
+		t.Error("tree closure over immutable env reported mutable")
+	}
+	capt := &Closure{Body: &lambda.Int{Val: 0}, Env: env.Bind(lambda.LVar(2), r)}
+	if !ReachesMutable(capt) {
+		t.Error("tree closure capturing a ref reported immutable")
+	}
+
+	fr := newFrame(nil, 2)
+	fr.slots[0] = IntV(1)
+	cpure := &CompiledClosure{Fn: &CompiledFn{NSlots: 2}, Env: fr}
+	if ReachesMutable(cpure) {
+		t.Error("compiled closure over immutable frame reported mutable")
+	}
+	up := newFrame(nil, 1)
+	up.slots[0] = r
+	ccapt := &CompiledClosure{Fn: &CompiledFn{NSlots: 1}, Env: newFrame(up, 1)}
+	if !ReachesMutable(ccapt) {
+		t.Error("compiled closure capturing a ref via a parent frame reported immutable")
+	}
+}
+
+// Recursive closures are cyclic through their own environment; the
+// visited set must terminate the walk.
+func TestReachesMutableCyclicClosure(t *testing.T) {
+	var env *Env
+	c := &Closure{Body: &lambda.Int{Val: 0}}
+	env = env.Bind(lambda.LVar(3), c)
+	c.Env = env
+	if ReachesMutable(c) {
+		t.Error("pure recursive closure reported mutable")
+	}
+
+	fr := newFrame(nil, 1)
+	cc := &CompiledClosure{Fn: &CompiledFn{NSlots: 1}, Env: fr}
+	fr.slots[0] = cc
+	if ReachesMutable(cc) {
+		t.Error("pure recursive compiled closure reported mutable")
+	}
+	fr2 := newFrame(nil, 2)
+	cc2 := &CompiledClosure{Fn: &CompiledFn{NSlots: 2}, Env: fr2}
+	fr2.slots[0] = cc2
+	fr2.slots[1] = &RefV{Cell: IntV(0)}
+	if !ReachesMutable(cc2) {
+		t.Error("recursive compiled closure capturing a ref reported immutable")
+	}
+}
+
+// Ref cycles (a ref whose cell reaches itself) must not loop: the walk
+// stops at the cell without dereferencing it.
+func TestReachesMutableStopsAtCell(t *testing.T) {
+	r := &RefV{}
+	r.Cell = RecordV{r}
+	if !ReachesMutable(r) {
+		t.Error("self-referential ref reported immutable")
+	}
+	if !ReachesMutable(RecordV{r}) {
+		t.Error("record holding self-referential ref reported immutable")
+	}
+}
