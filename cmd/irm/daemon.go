@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/interp"
 	"repro/internal/obs"
 )
 
@@ -34,6 +35,8 @@ func cmdDaemon(args []string) {
 	policy := fs.String("policy", "cutoff", "default recompilation policy: cutoff or timestamp")
 	queue := fs.Int("queue", daemon.DefaultMaxQueue, "admission queue bound (further requests get 503 queue_full)")
 	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
+	profFlag := fs.Bool("profile", false, "profile every build; serve the latest on /debug/sml/profile")
+	profPeriod := fs.Uint64("profile-period", 0, "sampling period in interpreter steps (implies -profile; 0 = default)")
 	verbose := fs.Bool("v", false, "log one line per request and build")
 	fs.Parse(args)
 
@@ -86,6 +89,12 @@ func cmdDaemon(args []string) {
 		Policy:   pol,
 		Jobs:     *jobs,
 		MaxQueue: *queue,
+	}
+	if *profFlag || *profPeriod > 0 {
+		opts.ProfilePeriod = *profPeriod
+		if opts.ProfilePeriod == 0 {
+			opts.ProfilePeriod = interp.DefaultProfilePeriod
+		}
 	}
 	if *verbose {
 		opts.Log = os.Stderr

@@ -6,14 +6,16 @@
 //	irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
 //	          [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
 //	          [-serve addr] [-history dir|off] [-daemon auto|off|require|socket]
-//	          [-exec closure|tree]
+//	          [-exec closure|tree] [-profile base] [-profile-period n]
+//	irm profile group.cm [-j n] [-store dir] [-policy p] [-exec closure|tree]
+//	          [-n k] [-period n] [-o base]
 //	irm daemon [-store dir] [-socket path] [-addr host:port] [-j n] [-policy p]
-//	          [-queue n] [-history dir|off] [-v]
+//	          [-queue n] [-history dir|off] [-profile] [-profile-period n] [-v]
 //	irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
 //	          [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json] [-v]
 //	irm serve [group.cm] [-addr host:port] [-store dir] [-j n] [-history dir|off]
 //	irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t] [-since d]
-//	irm top [-store dir | -dir ledgerdir] [-n k] [-since d]
+//	irm top [-store dir | -dir ledgerdir] [-by cost|exec|fn] [-n k] [-since d]
 //	irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
 //	irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n] [-exec closure|tree]
 //	irm deps  group.cm
@@ -28,6 +30,17 @@
 // back to the direct tree-walking interpreter. Both produce identical
 // bins, values, and output (DESIGN.md §4j); tree forces the in-process
 // build path, bypassing any running daemon.
+//
+// Profiling: -profile base turns on the deterministic SML-level
+// execution profiler (DESIGN.md §4k): one stack sample every
+// -profile-period interpreter steps (default 256), attributed to SML
+// function identities, written as base.json (the irm-profile/1
+// report), base.folded (flamegraph folded-stack text), and base.pb
+// (pprof profile.proto — `go tool pprof base.pb`). `irm profile` is
+// the one-shot variant that prints the hot-function table to stdout.
+// Sampling is step-based, not wall-clock, so the same sources yield
+// byte-identical reports at any -j and under either -exec engine;
+// profiling never changes build outputs.
 //
 // Telemetry: -trace writes the build's span tree as Chrome
 // trace_event JSON (load it in chrome://tracing or Perfetto), -jsonl
@@ -82,6 +95,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/obsserve"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -103,6 +117,8 @@ func main() {
 		cmdHistory(os.Args[2:])
 	case "top":
 		cmdTop(os.Args[2:])
+	case "profile":
+		cmdProfile(os.Args[2:])
 	case "gen":
 		cmdGen(os.Args[2:])
 	case "deps":
@@ -154,15 +170,17 @@ func usage() {
   irm build group.cm [-j n] [-store dir] [-policy cutoff|timestamp] [-v]
             [-trace out.json] [-jsonl out.jsonl] [-explain] [-report text|json]
             [-serve addr] [-history dir|off] [-daemon auto|off|require|socket]
-            [-exec closure|tree]
+            [-exec closure|tree] [-profile base] [-profile-period n]
+  irm profile group.cm [-j n] [-store dir] [-policy p] [-exec closure|tree]
+            [-n k] [-period n] [-o base]
   irm daemon [-store dir] [-socket path] [-addr host:port] [-j n] [-policy p]
-            [-queue n] [-history dir|off] [-v]
+            [-queue n] [-history dir|off] [-profile] [-profile-period n] [-v]
   irm watch group.cm [-j n] [-store dir] [-policy p] [-poll d] [-debounce d]
             [-serve addr] [-history dir|off] [-n k] [-drive k] [-report text|json]
             [-exec closure|tree] [-v]
   irm serve [group.cm] [-addr host:port] [-store dir] [-policy p] [-j n] [-history dir|off]
   irm history [-store dir | -dir ledgerdir] [-n k] [-window w] [-threshold t] [-since d]
-  irm top [-store dir | -dir ledgerdir] [-n k] [-since d]
+  irm top [-store dir | -dir ledgerdir] [-by cost|exec|fn] [-n k] [-since d]
   irm gen [-dir d] [-units n] [-lines n] [-seed n] [-shape s]
   irm bench [-out BENCH_irm.json] [-units n] [-lines n] [-seed n] [-j n] [-exec closure|tree]
   irm deps  group.cm
@@ -185,6 +203,8 @@ func cmdBuild(args []string) {
 	historyFlag := fs.String("history", "", "ledger directory ('' = beside the store, 'off' = disabled)")
 	daemonMode := fs.String("daemon", "auto", "daemon dispatch: auto, off, require, or a socket path")
 	execFlag := fs.String("exec", "closure", "execution engine: closure (compiled) or tree (interpreter)")
+	profileOut := fs.String("profile", "", "profile SML execution; write <base>.json, <base>.folded, <base>.pb")
+	profPeriod := fs.Uint64("profile-period", 0, "sampling period in interpreter steps (0 = default)")
 	groupPath, rest := splitGroupArg(args)
 	fs.Parse(rest)
 	if groupPath == "" && fs.NArg() == 1 {
@@ -215,9 +235,12 @@ func cmdBuild(args []string) {
 	// not broken; only -daemon require turns that into an error.
 	// -exec=tree is a debugging mode, not a protocol feature: it too
 	// forces the in-process path, since the daemon always runs the
-	// default compiled engine.
+	// default compiled engine. So does -profile: the profile files
+	// belong to this invocation's Manager, not the daemon's (profile a
+	// daemon's builds with `irm daemon -profile` and the
+	// /debug/sml/profile endpoint instead).
 	if *daemonMode != "off" && *tracePath == "" && *jsonlPath == "" && *serveAddr == "" &&
-		engine == interp.EngineClosure {
+		*profileOut == "" && engine == interp.EngineClosure {
 		socketFlag := ""
 		if *daemonMode != "auto" && *daemonMode != "require" {
 			socketFlag = *daemonMode
@@ -263,11 +286,23 @@ func cmdBuild(args []string) {
 	if *verbose {
 		m.Log = os.Stderr
 	}
+	if *profileOut != "" {
+		m.ProfilePeriod = *profPeriod
+		if m.ProfilePeriod == 0 {
+			m.ProfilePeriod = interp.DefaultProfilePeriod
+		}
+	}
 	ledger := openLedger(*historyFlag, *storeDir)
+	var liveProf *prof.Live
 	if *serveAddr != "" {
 		// Bind before the build so a scraper or profiler can attach from
 		// the first instant; the listener dies with the process.
-		if _, err := startServer(*serveAddr, obsserve.New(col, ledger)); err != nil {
+		srv := obsserve.New(col, ledger)
+		if *profileOut != "" {
+			liveProf = &prof.Live{}
+			srv.Prof = liveProf
+		}
+		if _, err := startServer(*serveAddr, srv); err != nil {
 			fatal(err)
 		}
 	}
@@ -275,8 +310,18 @@ func cmdBuild(args []string) {
 	_, buildErr := m.Build(group.Files)
 	recordBuild(ledger, m, group.Name, *jobs, time.Since(start), buildErr)
 	// Telemetry is flushed before the build error is reported: a trace
-	// of a failing build is the one you want most.
+	// of a failing build is the one you want most. Same for the
+	// profile: a partial profile of a failing build still attributes
+	// the steps that did run.
 	flushTelemetry(col, *tracePath, *jsonlPath)
+	if *profileOut != "" && m.Prof != nil {
+		if liveProf != nil {
+			liveProf.Set(group.Name, m.Prof)
+		}
+		if err := m.Prof.WriteFiles(*profileOut, group.Name); err != nil {
+			fatal(err)
+		}
+	}
 	if *explain {
 		if err := obs.WriteExplainJSONL(os.Stderr, m.Explains); err != nil {
 			fatal(err)

@@ -52,6 +52,8 @@ func openLedger(historyFlag, storeDir string) *history.Ledger {
 }
 
 // recordBuild appends one build's summary to the ledger, if open.
+// A profiled build's record also carries its hot-function table, so
+// `irm top -by fn` can rank functions across builds.
 func recordBuild(l *history.Ledger, m *core.Manager, name string,
 	jobs int, wall time.Duration, buildErr error) {
 	if l == nil {
@@ -59,6 +61,9 @@ func recordBuild(l *history.Ledger, m *core.Manager, name string,
 	}
 	rec := history.FromReport(m.Report(name), m.UnitTimings, jobs,
 		wall, time.Now(), buildErr)
+	if m.Prof != nil {
+		rec.HotFunctions = m.Prof.Top(20)
+	}
 	if err := l.Append(rec); err != nil {
 		fmt.Fprintln(os.Stderr, "irm:", err)
 	}
@@ -203,13 +208,18 @@ func cmdHistory(args []string) {
 	}
 }
 
-// cmdTop aggregates per-unit wall time across the ledger and prints
-// the most expensive units.
+// cmdTop aggregates per-unit (or, with -by fn, per-function) cost
+// across the ledger and prints the most expensive entries. -by cost
+// ranks units by committed wall time, -by exec by execute-phase time
+// alone, and -by fn by profiled self-steps (needs records written by
+// profiled builds: `irm build -profile`, `irm profile`, or a daemon
+// running with -profile).
 func cmdTop(args []string) {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	storeDir := fs.String("store", ".irm-store", "bin cache directory the ledger sits beside")
 	dir := fs.String("dir", "", "ledger directory (overrides -store derivation)")
-	limit := fs.Int("n", 10, "show at most n units")
+	by := fs.String("by", "cost", "ranking: cost (unit wall time), exec (execute phase), or fn (profiled functions)")
+	limit := fs.Int("n", 10, "show at most n rows")
 	since := fs.Duration("since", 0, "only records newer than this age (e.g. 30m, 2h; 0 = all)")
 	fs.Parse(args)
 
@@ -228,23 +238,63 @@ func cmdTop(args []string) {
 	if *since > 0 {
 		recs = history.FilterSince(recs, time.Now().Add(-*since))
 	}
-	top := history.Top(recs)
-	if len(top) == 0 {
-		fmt.Println("no unit timings recorded")
-		return
-	}
-	if len(top) > *limit {
-		top = top[:*limit]
-	}
-	fmt.Printf("%-24s %7s %7s %12s %12s %12s %6s\n",
-		"UNIT", "BUILDS", "COMP", "TOTAL", "MEAN", "MAX", "SHARE")
-	for _, u := range top {
-		fmt.Printf("%-24s %7d %7d %12s %12s %12s %5.1f%%\n",
-			trunc(u.Unit, 24), u.Builds, u.Compiled,
-			time.Duration(u.TotalNs).Round(time.Microsecond),
-			time.Duration(u.MeanNs).Round(time.Microsecond),
-			time.Duration(u.MaxNs).Round(time.Microsecond),
-			u.ShareOfAll*100)
+	switch *by {
+	case "cost":
+		top := history.Top(recs)
+		if len(top) == 0 {
+			fmt.Println("no unit timings recorded")
+			return
+		}
+		if len(top) > *limit {
+			top = top[:*limit]
+		}
+		fmt.Printf("%-24s %7s %7s %12s %12s %12s %6s\n",
+			"UNIT", "BUILDS", "COMP", "TOTAL", "MEAN", "MAX", "SHARE")
+		for _, u := range top {
+			fmt.Printf("%-24s %7d %7d %12s %12s %12s %5.1f%%\n",
+				trunc(u.Unit, 24), u.Builds, u.Compiled,
+				time.Duration(u.TotalNs).Round(time.Microsecond),
+				time.Duration(u.MeanNs).Round(time.Microsecond),
+				time.Duration(u.MaxNs).Round(time.Microsecond),
+				u.ShareOfAll*100)
+		}
+	case "exec":
+		top := history.TopByExec(recs)
+		if len(top) == 0 {
+			fmt.Println("no execution timings recorded")
+			return
+		}
+		if len(top) > *limit {
+			top = top[:*limit]
+		}
+		fmt.Printf("%-24s %7s %12s %12s %12s %12s %6s\n",
+			"UNIT", "BUILDS", "EXEC-TOTAL", "MEAN", "MAX", "STEPS", "SHARE")
+		for _, u := range top {
+			fmt.Printf("%-24s %7d %12s %12s %12s %12d %5.1f%%\n",
+				trunc(u.Unit, 24), u.Builds,
+				time.Duration(u.TotalNs).Round(time.Microsecond),
+				time.Duration(u.MeanNs).Round(time.Microsecond),
+				time.Duration(u.MaxNs).Round(time.Microsecond),
+				u.Steps, u.ShareOfAll*100)
+		}
+	case "fn":
+		top := history.TopFuncs(recs)
+		if len(top) == 0 {
+			fmt.Println("no profiled builds recorded (run a build with -profile)")
+			return
+		}
+		if len(top) > *limit {
+			top = top[:*limit]
+		}
+		fmt.Printf("%-28s %-16s %7s %12s %10s %10s %6s\n",
+			"FUNCTION", "UNIT", "BUILDS", "SELF-STEPS", "APPLIES", "ALLOCS", "SHARE")
+		for _, f := range top {
+			fmt.Printf("%-28s %-16s %7d %12d %10d %10d %5.1f%%\n",
+				trunc(f.Name, 28), trunc(f.Unit, 16), f.Builds,
+				f.SelfSteps, f.Applies, f.Allocs, f.ShareOfAll*100)
+		}
+	default:
+		usage()
 	}
 }
 

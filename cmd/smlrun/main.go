@@ -19,6 +19,7 @@ import (
 	"repro/internal/linker"
 	"repro/internal/obs"
 	"repro/internal/pid"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -30,10 +31,12 @@ func main() {
 	explain := flag.Bool("explain", false, "stream one rebuild-decision JSON record per unit to stderr")
 	report := flag.String("report", "", "with 'json', write a machine-readable build report line to stderr")
 	execFlag := flag.String("exec", "closure", "execution engine: closure (compiled) or tree (interpreter)")
+	profileOut := flag.String("profile", "", "profile SML execution; write <base>.json, <base>.folded, <base>.pb")
+	profPeriod := flag.Uint64("profile-period", 0, "sampling period in interpreter steps (0 = default)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr,
-			"usage: smlrun [-bin] [-store dir] [-j n] [-v] [-trace out.json] [-explain] [-report json] [-exec closure|tree] file ...")
+			"usage: smlrun [-bin] [-store dir] [-j n] [-v] [-trace out.json] [-explain] [-report json] [-exec closure|tree] [-profile base] [-profile-period n] file ...")
 		os.Exit(2)
 	}
 	if *report != "" && *report != "json" {
@@ -45,7 +48,7 @@ func main() {
 	}
 
 	if *binMode {
-		runBins(flag.Args(), *tracePath, *report, engine)
+		runBins(flag.Args(), *tracePath, *report, engine, *profileOut, *profPeriod)
 		return
 	}
 
@@ -55,6 +58,12 @@ func main() {
 	m.Obs = col
 	m.Jobs = *jobs
 	m.Engine = engine
+	if *profileOut != "" {
+		m.ProfilePeriod = *profPeriod
+		if m.ProfilePeriod == 0 {
+			m.ProfilePeriod = interp.DefaultProfilePeriod
+		}
+	}
 	if *verbose {
 		m.Log = os.Stderr
 	}
@@ -78,6 +87,15 @@ func main() {
 	_, buildErr := m.Build(files)
 	if *tracePath != "" {
 		writeTrace(col, *tracePath)
+	}
+	if *profileOut != "" && m.Prof != nil {
+		name := "smlrun"
+		if flag.NArg() > 0 {
+			name = filepath.Base(flag.Arg(0))
+		}
+		if err := m.Prof.WriteFiles(*profileOut, name); err != nil {
+			fatal(err)
+		}
 	}
 	if *explain {
 		if err := obs.WriteExplainJSONL(os.Stderr, m.Explains); err != nil {
@@ -124,11 +142,24 @@ func writeTrace(col *obs.Collector, path string) {
 // runBins rehydrates, verifies, and executes pre-compiled bin files.
 // The execute phase runs under a collector, so even a bin-only run
 // gets per-unit execute spans (-trace) and exec.* counters
-// (-report json).
-func runBins(paths []string, tracePath, report string, engine interp.Engine) {
+// (-report json) — and, with -profile, the same three profile
+// artifacts a source build writes (bins carry no source text, so
+// line numbers are absent from the symbolization).
+func runBins(paths []string, tracePath, report string, engine interp.Engine,
+	profileOut string, profPeriod uint64) {
 	session, err := compiler.NewSessionWith(os.Stdout, engine)
 	if err != nil {
 		fatal(err)
+	}
+	if profileOut != "" {
+		// The prelude already executed (inside NewSessionWith, before
+		// profiling starts) so it contributes no samples, but register
+		// it anyway: program closures that call into prelude functions
+		// should attribute those frames by name.
+		session.Machine.StartProfile(profPeriod)
+		for _, u := range session.Units {
+			session.Machine.ProfRegister(u.Name, u.Prog, u.Code)
+		}
 	}
 
 	// First pass: headers only, to order rehydration so providers load
@@ -201,6 +232,21 @@ func runBins(paths []string, tracePath, report string, engine interp.Engine) {
 	rspan.End()
 	if tracePath != "" {
 		writeTrace(col, tracePath)
+	}
+	if profileOut != "" {
+		b := prof.NewBuilder(engine.String(), session.Machine.ProfilePeriod())
+		for _, u := range session.Units {
+			b.AddUnit(u.Name, u.Code, u.Env, compiler.PreludeSource)
+		}
+		for _, u := range units {
+			b.AddUnit(u.Name, u.Code, u.Env, "")
+		}
+		for _, up := range session.Machine.TakeUnitProfiles() {
+			b.Add(up)
+		}
+		if err := b.Finish().WriteFiles(profileOut, "run-bins"); err != nil {
+			fatal(err)
+		}
 	}
 	if report == "json" {
 		rep := map[string]any{"schema": obs.ReportSchema, "name": "run-bins",

@@ -267,9 +267,16 @@ func ExecuteOn(m *interp.Machine, u *Unit, dyn dynenv.Target,
 
 	aspan := espan.Child(obs.CatPhase, "apply")
 	steps0 := m.Steps
+	profiled := m.ProfileEnabled()
 	var result interp.Value
 	var err error
 	if m.Engine == interp.EngineTree {
+		if profiled {
+			// Register before the window opens so the unit's closures
+			// carry identities from their very first application.
+			m.ProfRegister(u.Name, u.Prog, u.Code)
+			m.BeginUnitProfile(u.Name)
+		}
 		var closure interp.Value
 		closure, err = m.Eval(u.Code, nil)
 		if err == nil {
@@ -285,7 +292,22 @@ func ExecuteOn(m *interp.Machine, u *Unit, dyn dynenv.Target,
 			}
 		}
 		if err == nil {
+			if profiled {
+				m.ProfRegister(u.Name, prog, u.Code)
+				m.BeginUnitProfile(u.Name)
+			}
 			result, err = m.Apply(&interp.CompiledClosure{Fn: prog}, imports)
+		}
+	}
+	if profiled {
+		// Close the window on every path, including a failed apply:
+		// a sequential run would have accumulated the partial profile
+		// before dying, so the parallel build must too (the committer
+		// replays these counters in commit order either way).
+		if up := m.EndUnitProfile(); up != nil {
+			obs.Count(rec, "prof.units", 1)
+			obs.Count(rec, "prof.samples", up.Samples())
+			obs.Count(rec, "prof.funcs", int64(len(up.Funcs)))
 		}
 	}
 	aspan.End()

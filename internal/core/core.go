@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pickle"
 	"repro/internal/pid"
+	"repro/internal/prof"
 )
 
 // Policy selects the recompilation rule.
@@ -279,6 +280,13 @@ type Manager struct {
 	// §4j). Step granularity is engine-specific (tree: per node;
 	// closure: per application).
 	MaxSteps uint64
+	// ProfilePeriod, when non-zero, enables the SML-level execution
+	// profiler (DESIGN.md §4k) for this manager's builds: every unit
+	// execution is step-tick sampled with this period and the merged,
+	// symbolized profile lands in Prof. Profiling perturbs no build
+	// output — bins, pids, Stats, explain records, and all non-prof.*
+	// counters are byte-identical with it on or off.
+	ProfilePeriod uint64
 	// EnvCache, when non-nil, overrides the process-wide rehydration
 	// cache (pickle.SharedEnvCache) for this manager's bin reads. Set
 	// it to pickle.NewEnvCache(-1) to disable caching (cold-path
@@ -298,6 +306,14 @@ type Manager struct {
 	// every committed unit in commit order — the per-unit series the
 	// build-history ledger persists and `irm top` aggregates.
 	UnitTimings []obs.UnitTiming
+	// Prof is the most recent Build's merged execution profile (nil
+	// unless ProfilePeriod was set). Its contents are deterministic:
+	// identical at any Jobs value and across daemon/local runs.
+	Prof *prof.Profile
+
+	// profB accumulates the in-flight build's unit profiles; only the
+	// committer touches it.
+	profB *prof.Builder
 }
 
 // NewManager returns a cutoff-policy manager over a fresh memory store.
@@ -389,6 +405,24 @@ func (m *Manager) BuildUnder(parent *obs.Span, files []File) (*compiler.Session,
 	// Attached after the prelude bootstrap, like the recorders: the
 	// budget covers the build's units, not the prelude.
 	session.Machine.MaxSteps = m.MaxSteps
+	// Profiling, too, starts after the bootstrap: the prelude's own
+	// execution is never sampled (it ran before StartProfile), but its
+	// functions are registered and symbolized here so prelude frames
+	// inside unit executions attribute to "$prelude" bindings under
+	// either engine.
+	m.Prof, m.profB = nil, nil
+	if m.ProfilePeriod > 0 {
+		session.Machine.StartProfile(m.ProfilePeriod)
+		m.profB = prof.NewBuilder(m.Engine.String(), session.Machine.ProfilePeriod())
+		for _, u := range session.Units {
+			session.Machine.ProfRegister(u.Name, u.Prog, u.Code)
+			m.profB.AddUnit(u.Name, u.Code, u.Env, compiler.PreludeSource)
+		}
+		defer func() {
+			m.Prof = m.profB.Finish()
+			m.profB = nil
+		}()
+	}
 
 	// Phase 1: per-file dependency info, re-parsing only changed files.
 	scan := bspan.Child(obs.CatPhase, "scan")

@@ -120,6 +120,12 @@ type execDone struct {
 	binds  []dynenv.Binding
 	steps  uint64
 	ns     int64
+	// prof holds the execution's raw profile(s) when the build is
+	// profiled (normally one UnitProfile; empty otherwise). Like
+	// counters and binds, it is private until the committer merges it
+	// in commit order — which is what makes the merged profile
+	// independent of Jobs.
+	prof []*interp.UnitProfile
 }
 
 // intHeap is a min-heap of topo indexes: the ready queue dispatches
@@ -544,6 +550,7 @@ func runExec(res *unitResult, mtpl *interp.Machine, dyn, pending *dynenv.Env, la
 		binds:  view.Binds(),
 		steps:  fork.Steps,
 		ns:     int64(time.Since(t0)),
+		prof:   fork.TakeUnitProfiles(),
 	}
 }
 
@@ -733,6 +740,17 @@ func (m *Manager) commitUnit(res *unitResult, ed *execDone, col *obs.Collector,
 	// worker's lane, nested under the unit span, and are already
 	// ended.)
 	ed.buf.FlushTo(col)
+	// Merge the execution's profile in commit order — the same
+	// ordering discipline as counters and stdout, so the merged
+	// profile (like them) is a pure function of the program, not of
+	// the schedule. A failing unit's partial profile merges too,
+	// exactly as a sequential run would have accumulated it.
+	if m.profB != nil {
+		m.profB.AddUnit(name, res.unit.Code, res.unit.Env, t.source)
+		for _, up := range ed.prof {
+			m.profB.Add(up)
+		}
+	}
 	if res.tainted {
 		col.Add("exec.serialized", 1)
 	}
@@ -774,7 +792,8 @@ func (m *Manager) commitUnit(res *unitResult, ed *execDone, col *obs.Collector,
 		uspan.Arg("action", obs.ActionLoaded).Arg("pid", res.unit.StatPid.Short())
 		uspan.End()
 		m.UnitTimings = append(m.UnitTimings, obs.UnitTiming{
-			Unit: name, Action: obs.ActionLoaded, Ns: int64(uspan.Duration())})
+			Unit: name, Action: obs.ActionLoaded, Ns: int64(uspan.Duration()),
+			ExecNs: ed.ns, Steps: ed.steps})
 		if m.Log != nil {
 			m.logf("[%s] %s: loaded (interface %s)", m.Policy, name, res.unit.StatPid.Short())
 		}
@@ -806,6 +825,7 @@ func (m *Manager) commitUnit(res *unitResult, ed *execDone, col *obs.Collector,
 	uspan.Arg("action", obs.ActionCompiled).Arg("pid", res.unit.StatPid.Short())
 	uspan.End()
 	m.UnitTimings = append(m.UnitTimings, obs.UnitTiming{
-		Unit: name, Action: obs.ActionCompiled, Ns: int64(uspan.Duration())})
+		Unit: name, Action: obs.ActionCompiled, Ns: int64(uspan.Duration()),
+		ExecNs: ed.ns, Steps: ed.steps})
 	return nil
 }

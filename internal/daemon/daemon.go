@@ -59,6 +59,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/obsserve"
+	"repro/internal/prof"
 )
 
 // DefaultMaxQueue bounds the admission queue when Options.MaxQueue is
@@ -86,6 +87,12 @@ type Options struct {
 	Jobs   int
 	// MaxQueue bounds the admission queue (0 = DefaultMaxQueue).
 	MaxQueue int
+	// ProfilePeriod, when non-zero, turns on SML-level execution
+	// profiling for every build the daemon executes: one sample per
+	// ProfilePeriod interpreter steps. The latest build's profile is
+	// served on /debug/sml/profile and its hot-function table rides
+	// the ledger record. Profiling perturbs no build output.
+	ProfilePeriod uint64
 	// Log, when non-nil, receives one line per admitted request and
 	// per executed build.
 	Log io.Writer
@@ -98,10 +105,11 @@ type Options struct {
 // Server is the daemon: an HTTP handler plus the single worker that
 // executes admitted requests.
 type Server struct {
-	opts   Options
-	m      *core.Manager
-	obssrv *obsserve.Server
-	start  time.Time
+	opts     Options
+	m        *core.Manager
+	obssrv   *obsserve.Server
+	liveProf *prof.Live // non-nil iff Options.ProfilePeriod > 0
+	start    time.Time
 
 	mu       sync.Mutex
 	queue    []*call          // admitted, not yet executing, FIFO
@@ -168,13 +176,18 @@ func New(opts Options) *Server {
 		stopped:  make(chan struct{}),
 	}
 	s.m = &core.Manager{
-		Policy: opts.Policy,
-		Store:  core.Unlocked(opts.Store),
-		Stdout: io.Discard,
-		Obs:    opts.Col,
-		Jobs:   opts.Jobs,
+		Policy:        opts.Policy,
+		Store:         core.Unlocked(opts.Store),
+		Stdout:        io.Discard,
+		Obs:           opts.Col,
+		Jobs:          opts.Jobs,
+		ProfilePeriod: opts.ProfilePeriod,
 	}
 	s.obssrv = obsserve.New(opts.Col, opts.Ledger)
+	if opts.ProfilePeriod > 0 {
+		s.liveProf = &prof.Live{}
+		s.obssrv.Prof = s.liveProf
+	}
 	// Register the daemon counter families at zero so a scrape sees
 	// them before the first request — promcheck -require in CI depends
 	// on stable families, not on traffic having happened.
@@ -571,9 +584,15 @@ func (s *Server) execute(c *call) {
 		s.builds++
 		s.mu.Unlock()
 		s.opts.Col.Add("daemon.builds", 1)
+		if s.liveProf != nil && s.m.Prof != nil {
+			s.liveProf.Set(c.name, s.m.Prof)
+		}
 		if s.opts.Ledger != nil {
 			rec := history.FromReport(c.report, s.m.UnitTimings, c.jobs,
 				wall, time.Now(), buildErr)
+			if s.m.Prof != nil {
+				rec.HotFunctions = s.m.Prof.Top(20)
+			}
 			if err := s.opts.Ledger.Append(rec); err != nil {
 				s.logf("daemon: ledger: %v", err)
 			}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // Schema identifies the ledger record format.
@@ -76,6 +77,10 @@ type Record struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	// UnitTimings is the per-unit wall-time series of the build.
 	UnitTimings []obs.UnitTiming `json:"unit_timings,omitempty"`
+	// HotFunctions, for profiled builds, is the build's hot-function
+	// table (the top of the merged prof.Profile): what `irm top -by fn`
+	// aggregates across records.
+	HotFunctions []prof.Func `json:"hot_functions,omitempty"`
 }
 
 // FromReport assembles a ledger record from a build's machine-readable
@@ -476,6 +481,115 @@ func Top(recs []Record) []TopUnit {
 			return out[i].TotalNs > out[j].TotalNs
 		}
 		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// TopExec is one unit's aggregated execution cost across records: the
+// execute-phase slice of its wall time plus its interpreter steps,
+// from the extended UnitTiming fields.
+type TopExec struct {
+	Unit       string  `json:"unit"`
+	Builds     int     `json:"builds"`
+	TotalNs    int64   `json:"exec_total_ns"`
+	MaxNs      int64   `json:"exec_max_ns"`
+	MeanNs     int64   `json:"exec_mean_ns"`
+	Steps      uint64  `json:"steps"`
+	ShareOfAll float64 `json:"share"` // of all units' exec time
+}
+
+// TopByExec aggregates the execute-phase timings across records,
+// sorted by total execution time, most expensive first. Records
+// written before the exec fields existed contribute zeros.
+func TopByExec(recs []Record) []TopExec {
+	agg := map[string]*TopExec{}
+	var grand int64
+	for _, rec := range recs {
+		for _, ut := range rec.UnitTimings {
+			a := agg[ut.Unit]
+			if a == nil {
+				a = &TopExec{Unit: ut.Unit}
+				agg[ut.Unit] = a
+			}
+			a.Builds++
+			a.TotalNs += ut.ExecNs
+			if ut.ExecNs > a.MaxNs {
+				a.MaxNs = ut.ExecNs
+			}
+			a.Steps += ut.Steps
+			grand += ut.ExecNs
+		}
+	}
+	out := make([]TopExec, 0, len(agg))
+	for _, a := range agg {
+		if a.Builds > 0 {
+			a.MeanNs = a.TotalNs / int64(a.Builds)
+		}
+		if grand > 0 {
+			a.ShareOfAll = float64(a.TotalNs) / float64(grand)
+		}
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs != out[j].TotalNs {
+			return out[i].TotalNs > out[j].TotalNs
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// TopFn is one SML function's aggregated profile across records'
+// hot-function tables.
+type TopFn struct {
+	Unit       string  `json:"unit"`
+	Name       string  `json:"name"`
+	Builds     int     `json:"builds"`
+	Applies    int64   `json:"applies"`
+	SelfSteps  int64   `json:"self_steps"`
+	Allocs     int64   `json:"allocs"`
+	Samples    int64   `json:"samples"`
+	ShareOfAll float64 `json:"share"` // of all functions' self-steps
+}
+
+// TopFuncs aggregates hot-function rows across profiled records,
+// sorted by total self-steps, hottest first. Unprofiled records
+// contribute nothing.
+func TopFuncs(recs []Record) []TopFn {
+	type key struct{ unit, name string }
+	agg := map[key]*TopFn{}
+	var grand int64
+	for _, rec := range recs {
+		for _, f := range rec.HotFunctions {
+			k := key{f.Unit, f.Name}
+			a := agg[k]
+			if a == nil {
+				a = &TopFn{Unit: f.Unit, Name: f.Name}
+				agg[k] = a
+			}
+			a.Builds++
+			a.Applies += f.Applies
+			a.SelfSteps += f.SelfSteps
+			a.Allocs += f.Allocs
+			a.Samples += f.LeafSamples
+			grand += f.SelfSteps
+		}
+	}
+	out := make([]TopFn, 0, len(agg))
+	for _, a := range agg {
+		if grand > 0 {
+			a.ShareOfAll = float64(a.SelfSteps) / float64(grand)
+		}
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfSteps != out[j].SelfSteps {
+			return out[i].SelfSteps > out[j].SelfSteps
+		}
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].Name < out[j].Name
 	})
 	return out
 }

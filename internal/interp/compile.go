@@ -98,6 +98,59 @@ type CompiledFn struct {
 	// free. Computed from the term shape alone, so CompileFn and LoadFn
 	// agree by construction.
 	escapes bool
+
+	// ID is this function's index in the one shared DFS walk of its
+	// unit's term — the profiler's function identity. Because resolve
+	// and decode mode share the walk, CompileFn and LoadFn assign the
+	// same IDs by construction, so a profile captured from a cold
+	// compile and from a warm bin load attribute identically. Neither
+	// ID nor tab is serialized: the bin code section stays byte-for-
+	// byte what it was without the profiler.
+	ID  int32
+	tab *fnTable
+}
+
+// fnTable is the per-unit side table shared by every CompiledFn of one
+// compiled term: the unit name (set once, before execution, by
+// SetUnit) and each function's lexically enclosing function, indexed
+// by ID (-1 for the root).
+type fnTable struct {
+	unit    string
+	parents []int32
+}
+
+// SetUnit records the owning unit's name on the whole compiled term.
+// Call it before the term executes; samples taken afterwards attribute
+// every function of the term to that unit.
+func (f *CompiledFn) SetUnit(name string) {
+	if f != nil && f.tab != nil {
+		f.tab.unit = name
+	}
+}
+
+// Unit returns the unit name recorded by SetUnit ("" before).
+func (f *CompiledFn) Unit() string {
+	if f == nil || f.tab == nil {
+		return ""
+	}
+	return f.tab.unit
+}
+
+// NumFuncs returns how many functions the compiled term contains.
+func (f *CompiledFn) NumFuncs() int {
+	if f == nil || f.tab == nil {
+		return 0
+	}
+	return len(f.tab.parents)
+}
+
+// ParentOf returns the ID of the lexically enclosing function of id,
+// or -1 for the root (and for out-of-range ids).
+func (f *CompiledFn) ParentOf(id int32) int32 {
+	if f == nil || f.tab == nil || id < 0 || int(id) >= len(f.tab.parents) {
+		return -1
+	}
+	return f.tab.parents[id]
 }
 
 // Small-int cache: boxing an IntV into a Value allocates, and the int
@@ -140,7 +193,7 @@ func (*CompiledClosure) isValue() {}
 // function of §3) to the closure form, returning it with the
 // serialized slot layout — the bin file's code section.
 func CompileFn(fn *lambda.Fn) (*CompiledFn, []byte, error) {
-	c := &comp{resolve: true, scope: make(map[lambda.LVar]loc)}
+	c := &comp{resolve: true, scope: make(map[lambda.LVar]loc), tab: &fnTable{}}
 	cf := c.fn(fn)
 	if c.err != nil {
 		return nil, nil, c.err
@@ -157,7 +210,7 @@ func CompileFn(fn *lambda.Fn) (*CompiledFn, []byte, error) {
 // and the section must be consumed exactly, so a corrupt or forged
 // section yields an error — never a mis-indexed frame.
 func LoadFn(fn *lambda.Fn, section []byte) (*CompiledFn, error) {
-	c := &comp{in: section}
+	c := &comp{in: section, tab: &fnTable{}}
 	cf := c.fn(fn)
 	if c.err != nil {
 		return nil, c.err
@@ -166,6 +219,28 @@ func LoadFn(fn *lambda.Fn, section []byte) (*CompiledFn, error) {
 		return nil, fmt.Errorf("code section: %d trailing bytes", len(section)-c.pos)
 	}
 	return cf, nil
+}
+
+// IndexFns replays CompileFn's resolve walk over root, additionally
+// recording which *lambda.Fn node became which compiled function. The
+// returned map is the bridge the profiler uses to give tree-walker
+// closures (and symbol names, which live on the term) the same
+// function IDs the compiled engine assigns — same walk, same IDs, by
+// construction. Fn nodes consumed by the walk's beta-reduction (the
+// eta-expanded primitive redexes) never become functions in either
+// engine and so are absent from the map.
+func IndexFns(root *lambda.Fn) (*CompiledFn, map[*lambda.Fn]*CompiledFn, error) {
+	c := &comp{
+		resolve: true,
+		scope:   make(map[lambda.LVar]loc),
+		tab:     &fnTable{},
+		fnOf:    make(map[*lambda.Fn]*CompiledFn),
+	}
+	cf := c.fn(root)
+	if c.err != nil {
+		return nil, nil, c.err
+	}
+	return cf, c.fnOf, nil
 }
 
 // loc is a binder's coordinate: the frame that holds it (by absolute
@@ -190,6 +265,14 @@ type comp struct {
 	in      []byte              // decode mode: section being read
 	pos     int
 	err     error
+
+	// Profiler identity, assigned by the same walk that assigns slots:
+	// tab collects each function's parent in DFS preorder; fnids is
+	// the stack of open function IDs; fnOf, when non-nil (IndexFns),
+	// additionally maps term nodes to their compiled functions.
+	tab   *fnTable
+	fnids []int32
+	fnOf  map[*lambda.Fn]*CompiledFn
 }
 
 func (c *comp) fail(format string, args ...any) {
@@ -273,7 +356,18 @@ func (c *comp) unbind(lv lambda.LVar, old loc, had bool) {
 }
 
 // fn compiles one function: a fresh frame with the parameter at slot 0.
+// It also assigns the function's profiler ID — its DFS preorder index
+// — and records its enclosing function, in the same walk that assigns
+// slots, so resolve and decode mode agree on identities exactly as
+// they agree on coordinates.
 func (c *comp) fn(e *lambda.Fn) *CompiledFn {
+	id := int32(len(c.tab.parents))
+	parent := int32(-1)
+	if len(c.fnids) > 0 {
+		parent = c.fnids[len(c.fnids)-1]
+	}
+	c.tab.parents = append(c.tab.parents, parent)
+	c.fnids = append(c.fnids, id)
 	c.nslots = append(c.nslots, 1)
 	c.escaped = append(c.escaped, false)
 	old, had := c.bind(e.Param, 0)
@@ -283,9 +377,15 @@ func (c *comp) fn(e *lambda.Fn) *CompiledFn {
 		NSlots:  c.nslots[len(c.nslots)-1],
 		body:    body,
 		escapes: c.escaped[len(c.escaped)-1],
+		ID:      id,
+		tab:     c.tab,
 	}
 	c.nslots = c.nslots[:len(c.nslots)-1]
 	c.escaped = c.escaped[:len(c.escaped)-1]
+	c.fnids = c.fnids[:len(c.fnids)-1]
+	if c.fnOf != nil {
+		c.fnOf[e] = f
+	}
 	return f
 }
 
@@ -890,5 +990,13 @@ func (m *Machine) Fork() *Machine {
 	f.Steps = 0
 	f.Obs = nil
 	f.framePool = nil // never share pooled frames across goroutines
+	if m.prof != nil {
+		// Profiling is inherited by enablement only: the fork gets its
+		// own sample window, countdown, and shadow stack (all per-unit
+		// state — resetting them per fork is what makes profiles
+		// independent of which goroutine ran which unit), sharing just
+		// the immutable-once-registered identity registry.
+		f.prof = &machProf{period: m.prof.period, left: m.prof.period, reg: m.prof.reg}
+	}
 	return &f
 }

@@ -79,6 +79,11 @@ type Machine struct {
 	// CompiledFn.escapes). Per-machine, like the machine itself: never
 	// shared across goroutines, and Fork starts its copy empty.
 	framePool []*Frame
+	// prof, when non-nil, is the SML-level execution profiler's state
+	// (prof.go). The disabled fast path costs exactly one nil check in
+	// step and one in apply; Fork propagates enablement with fresh
+	// per-fork state.
+	prof *machProf
 
 	// Pre-allocated basis exception tags.
 	TagMatch, TagBind, TagDiv, TagOverflow *ExnTag
@@ -159,6 +164,9 @@ func (m *Machine) step() {
 	m.Steps++
 	if m.MaxSteps != 0 && m.Steps > m.MaxSteps {
 		m.crash("step budget exceeded (%d)", m.MaxSteps)
+	}
+	if m.prof != nil {
+		m.prof.tick()
 	}
 }
 
@@ -312,6 +320,9 @@ func (m *Machine) evalHandle(e *lambda.Handle, env *Env) (result Value) {
 // MaxSteps still bounds divergence — any infinite loop in the lambda
 // language recurses through apply.
 func (m *Machine) apply(fn, arg Value) Value {
+	if m.prof != nil {
+		return m.applyProf(fn, arg)
+	}
 	switch c := fn.(type) {
 	case *CompiledClosure:
 		m.step()

@@ -101,6 +101,11 @@ type UnitTiming struct {
 	Unit   string `json:"unit"`
 	Action string `json:"action"` // ActionLoaded or ActionCompiled
 	Ns     int64  `json:"ns"`
+	// ExecNs is the wall time of the unit's execution alone (the
+	// execute phase on its exec worker); Steps its interpreter step
+	// count. Both feed `irm top -by exec`.
+	ExecNs int64  `json:"exec_ns,omitempty"`
+	Steps  uint64 `json:"steps,omitempty"`
 }
 
 // Report is the machine-readable summary of one build: the classic

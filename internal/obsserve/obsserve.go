@@ -19,6 +19,10 @@
 //	/watch         Server-Sent Events stream of watch iterations (one
 //	               `event: iteration` per rebuild); 404 unless the
 //	               process runs a watch session
+//	/debug/sml/profile  the latest profiled build's SML-level execution
+//	               profile (?format=json|pprof|folded, default json);
+//	               404 unless the process profiles builds (-profile)
+//	               and one has completed
 //	/debug/pprof/  the standard Go profiles (heap, goroutine, profile,
 //	               trace, ...), wired explicitly — importing
 //	               net/http/pprof's side effects into DefaultServeMux
@@ -40,16 +44,19 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/watch"
 )
 
 // Server holds what the endpoints read. Col is required; Ledger may be
 // nil, in which case /builds serves an empty array; Watch may be nil,
-// in which case /watch answers 404.
+// in which case /watch answers 404; Prof may be nil (or empty), in
+// which case /debug/sml/profile answers 404.
 type Server struct {
 	Col    *obs.Collector
 	Ledger *history.Ledger
 	Watch  *watch.Hub
+	Prof   *prof.Live
 	Start  time.Time
 }
 
@@ -66,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/builds", s.builds)
 	mux.HandleFunc("/watch", s.watch)
+	mux.HandleFunc("/debug/sml/profile", s.smlProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -107,6 +115,36 @@ func (s *Server) builds(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	json.NewEncoder(w).Encode(recs)
+}
+
+// smlProfile serves the latest profiled build's SML-level execution
+// profile. ?format=pprof emits the profile.proto encoding (what
+// `go tool pprof` loads), ?format=folded the folded-stack text
+// (flamegraph input), anything else the irm-profile/1 JSON report.
+// The bytes are produced by the same prof.Profile writers the CLI
+// uses, so a daemon scrape and a local `irm build -profile` of the
+// same sources are byte-identical.
+func (s *Server) smlProfile(w http.ResponseWriter, r *http.Request) {
+	if s.Prof == nil {
+		http.Error(w, "this process does not profile builds", http.StatusNotFound)
+		return
+	}
+	name, p := s.Prof.Get()
+	if p == nil {
+		http.Error(w, "no profiled build has completed", http.StatusNotFound)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		p.WritePprof(w)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		p.WriteFolded(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		p.Report(name).WriteJSON(w)
+	}
 }
 
 // watch streams watch iterations as Server-Sent Events: one

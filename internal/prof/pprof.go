@@ -1,0 +1,141 @@
+package prof
+
+// A dependency-free encoder for pprof's profile.proto (the subset
+// `go tool pprof` needs): hand-rolled protobuf wire format — uvarint
+// keys, length-delimited messages, packed repeated scalars. Field
+// numbers follow github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table, 11 period_type (ValueType), 12 period
+//	ValueType: 1 type, 2 unit (string-table indexes)
+//	Sample:    1 location_id (packed), 2 value (packed)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id, 2 line
+//	Function:  1 id, 2 name, 3 system_name, 4 filename, 5 start_line
+//
+// Locations are 1:1 with functions (the interpreter has no
+// instruction addresses), sample location_ids are leaf-first as the
+// format requires, and the output is raw (not gzipped) — pprof
+// accepts both. Encoding order is fixed by the Profile's own
+// deterministic ordering, so the emitted bytes are too.
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// WritePprof encodes the profile in pprof's profile.proto format.
+// Each sample carries two values: the capture count and the estimated
+// steps (count × period); the period type records one sample per
+// `period` steps.
+func (p *Profile) WritePprof(w io.Writer) error {
+	st := newStrTab()
+	samplesIdx := st.index("samples")
+	countIdx := st.index("count")
+	stepsIdx := st.index("steps")
+
+	var funcs []byte // Function messages, field 5
+	var locs []byte  // Location messages, field 4
+	for i, f := range p.Funcs {
+		id := uint64(i + 1)
+		nameIdx := st.index(f.Name)
+		sysIdx := st.index(f.Unit + "." + f.Name)
+		fileIdx := st.index(f.Unit)
+		var fb []byte
+		fb = appendKeyVarint(fb, 1, id)
+		fb = appendKeyVarint(fb, 2, uint64(nameIdx))
+		fb = appendKeyVarint(fb, 3, uint64(sysIdx))
+		fb = appendKeyVarint(fb, 4, uint64(fileIdx))
+		if f.Line > 0 {
+			fb = appendKeyVarint(fb, 5, uint64(f.Line))
+		}
+		funcs = appendMsg(funcs, 5, fb)
+
+		var line []byte
+		line = appendKeyVarint(line, 1, id)
+		if f.Line > 0 {
+			line = appendKeyVarint(line, 2, uint64(f.Line))
+		}
+		var lb []byte
+		lb = appendKeyVarint(lb, 1, id)
+		lb = appendMsg(lb, 4, line)
+		locs = appendMsg(locs, 4, lb)
+	}
+
+	var samples []byte // Sample messages, field 2
+	for _, s := range p.Stacks {
+		var ids []byte // leaf-first location ids
+		for i := len(s.Frames) - 1; i >= 0; i-- {
+			ids = binary.AppendUvarint(ids, uint64(s.Frames[i]+1))
+		}
+		var vals []byte
+		vals = binary.AppendUvarint(vals, uint64(s.Count))
+		vals = binary.AppendUvarint(vals, uint64(s.Count)*p.Period)
+		var sb []byte
+		sb = appendMsg(sb, 1, ids)
+		sb = appendMsg(sb, 2, vals)
+		samples = appendMsg(samples, 2, sb)
+	}
+
+	var vt1 []byte // sample_type: samples/count
+	vt1 = appendKeyVarint(vt1, 1, uint64(samplesIdx))
+	vt1 = appendKeyVarint(vt1, 2, uint64(countIdx))
+	var vt2 []byte // sample_type: steps/count
+	vt2 = appendKeyVarint(vt2, 1, uint64(stepsIdx))
+	vt2 = appendKeyVarint(vt2, 2, uint64(countIdx))
+	var pt []byte // period_type: steps/count
+	pt = appendKeyVarint(pt, 1, uint64(stepsIdx))
+	pt = appendKeyVarint(pt, 2, uint64(countIdx))
+
+	var out []byte
+	out = appendMsg(out, 1, vt1)
+	out = appendMsg(out, 1, vt2)
+	out = append(out, samples...)
+	out = append(out, locs...)
+	out = append(out, funcs...)
+	for _, s := range st.strs {
+		out = appendMsg(out, 6, []byte(s))
+	}
+	out = appendMsg(out, 11, pt)
+	out = appendKeyVarint(out, 12, p.Period)
+
+	_, err := w.Write(out)
+	return err
+}
+
+// strTab is the profile's string table: index 0 must be "".
+type strTab struct {
+	strs   []string
+	index_ map[string]int
+}
+
+func newStrTab() *strTab {
+	t := &strTab{index_: make(map[string]int)}
+	t.index("")
+	return t
+}
+
+func (t *strTab) index(s string) int {
+	if i, ok := t.index_[s]; ok {
+		return i
+	}
+	i := len(t.strs)
+	t.strs = append(t.strs, s)
+	t.index_[s] = i
+	return i
+}
+
+// appendKeyVarint appends a varint-typed field (wire type 0).
+func appendKeyVarint(b []byte, field int, v uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(field)<<3)
+	return binary.AppendUvarint(b, v)
+}
+
+// appendMsg appends a length-delimited field (wire type 2): embedded
+// message, string, or packed repeated scalars.
+func appendMsg(b []byte, field int, body []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(field)<<3|2)
+	b = binary.AppendUvarint(b, uint64(len(body)))
+	return append(b, body...)
+}
